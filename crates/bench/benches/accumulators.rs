@@ -1,0 +1,27 @@
+//! Ablation bench: the three sparse accumulators inside row-wise SpGEMM
+//! (the paper fixes the hash accumulator per Nagasaka et al. [40]; this
+//! bench justifies that default).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_datasets::{representative, Scale};
+use cw_spgemm::{spgemm_with, AccumulatorKind, SpGemmOptions};
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulator_ablation");
+    group.sample_size(10);
+    for d in representative(Scale::Small).iter().take(3) {
+        let a = d.build(Scale::Small);
+        for acc in [AccumulatorKind::Hash, AccumulatorKind::Dense, AccumulatorKind::Sort] {
+            let opts = SpGemmOptions { acc, ..Default::default() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{acc:?}"), d.name),
+                &a,
+                |b, a| b.iter(|| spgemm_with(a, a, &opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

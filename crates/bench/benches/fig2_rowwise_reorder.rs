@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 2: row-wise `A²` under different reorderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_datasets::{representative, Scale};
+use cw_reorder::Reordering;
+use cw_spgemm::spgemm;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_rowwise_after_reordering");
+    group.sample_size(10);
+    // One scrambled mesh (reordering wins big) and one power-law graph
+    // (reordering wins little) — the paper's contrast in miniature.
+    let picks = ["M6-like", "wb-like"];
+    for d in representative(Scale::Small).iter().filter(|d| picks.contains(&d.name)) {
+        let a = d.build(Scale::Small);
+        for algo in [
+            Reordering::Original,
+            Reordering::Random,
+            Reordering::Rcm,
+            Reordering::Gp(16),
+            Reordering::Hp(16),
+        ] {
+            let pa = algo.compute(&a, 7).permute_symmetric(&a);
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), d.name),
+                &pa,
+                |b, pa| b.iter(|| spgemm(pa, pa)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 3: fixed/variable clustering with and without
+//! upstream reordering, plus hierarchical, against row-wise original.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_bench::runner::{build_clustered, ClusterScheme, RunConfig};
+use cw_core::clusterwise_spgemm;
+use cw_datasets::{representative, Scale};
+use cw_reorder::Reordering;
+use cw_spgemm::spgemm;
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3_clusterwise_with_reordering");
+    group.sample_size(10);
+    let d = &representative(Scale::Small)[8]; // M6-like scrambled mesh
+    let a = d.build(Scale::Small);
+    group.bench_function("rowwise_original", |b| b.iter(|| spgemm(&a, &a)));
+    for reorder in [Reordering::Original, Reordering::Rcm, Reordering::Hp(16)] {
+        let pa = reorder.compute(&a, 7).permute_symmetric(&a);
+        for scheme in [ClusterScheme::Fixed, ClusterScheme::Variable] {
+            let (cc, _, square) = build_clustered(&pa, scheme, &cfg);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}+{}", reorder.name(), scheme.name()), d.name),
+                &(&cc, &square),
+                |b, (cc, sq)| b.iter(|| clusterwise_spgemm(cc, sq)),
+            );
+        }
+    }
+    let (cc, _, square) = build_clustered(&a, ClusterScheme::Hierarchical, &cfg);
+    group.bench_function("Hierarchical", |b| b.iter(|| clusterwise_spgemm(&cc, &square)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

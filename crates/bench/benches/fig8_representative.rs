@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 8: the three cluster-wise schemes vs the
+//! row-wise baseline on representative datasets (`A²`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_bench::runner::{build_clustered, ClusterScheme, RunConfig};
+use cw_core::clusterwise_spgemm;
+use cw_datasets::{representative, Scale};
+use cw_spgemm::spgemm;
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig8_clusterwise_a2");
+    group.sample_size(10);
+    // A fast, structurally diverse subset keeps `cargo bench` short.
+    for d in representative(Scale::Small).iter().take(4) {
+        let a = d.build(Scale::Small);
+        group.bench_with_input(BenchmarkId::new("rowwise", d.name), &a, |b, a| {
+            b.iter(|| spgemm(a, a))
+        });
+        for scheme in
+            [ClusterScheme::Fixed, ClusterScheme::Variable, ClusterScheme::Hierarchical]
+        {
+            let (cc, _, square) = build_clustered(&a, scheme, &cfg);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), d.name),
+                &(&cc, &square),
+                |b, (cc, sq)| b.iter(|| clusterwise_spgemm(cc, sq)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

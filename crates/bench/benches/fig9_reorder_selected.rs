@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 9: preprocessing cost of AMD/RCM/GP/HP (the
+//! other axis of the reordering trade-off — Fig. 10's numerator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_datasets::{representative, Scale};
+use cw_reorder::Reordering;
+
+fn bench_reorder_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_reordering_preprocessing");
+    group.sample_size(10);
+    let d = &representative(Scale::Small)[9]; // NLR-like
+    let a = d.build(Scale::Small);
+    for algo in [
+        Reordering::Random,
+        Reordering::Degree,
+        Reordering::Gray,
+        Reordering::Rcm,
+        Reordering::Amd,
+        Reordering::Rabbit,
+        Reordering::SlashBurn,
+        Reordering::Nd,
+        Reordering::Gp(16),
+        Reordering::Hp(16),
+    ] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), d.name), &a, |b, a| {
+            b.iter(|| algo.compute(a, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder_cost);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation bench: CSR_Cluster construction cost for the three clustering
+//! schemes (the preprocessing side of Figs. 8/10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_core::{
+    fixed_clustering, hierarchical_clustering, variable_clustering, ClusterConfig, CsrCluster,
+};
+use cw_datasets::{representative, Scale};
+
+fn bench_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_cluster_construction");
+    group.sample_size(10);
+    let cfg = ClusterConfig::default();
+    for d in representative(Scale::Small).iter().take(3) {
+        let a = d.build(Scale::Small);
+        group.bench_with_input(BenchmarkId::new("fixed", d.name), &a, |b, a| {
+            b.iter(|| CsrCluster::from_csr(a, &fixed_clustering(a, 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("variable", d.name), &a, |b, a| {
+            b.iter(|| CsrCluster::from_csr(a, &variable_clustering(a, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", d.name), &a, |b, a| {
+            b.iter(|| {
+                let h = hierarchical_clustering(a, &cfg);
+                h.build_symmetric(a)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the access-pattern ablation: the same `CSR_Cluster`
+//! operand processed column-major (paper Alg. 1) vs row-major (prior-work
+//! style), plus the row-wise CSR baseline — the timing companion to the
+//! simulated-miss table in `paper ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_core::ablation::clusterwise_row_major;
+use cw_core::{clusterwise_spgemm, fixed_clustering, CsrCluster};
+use cw_sparse::gen::banded::grouped_rows;
+use cw_spgemm::spgemm_serial;
+
+fn bench_kernel_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access_pattern_ablation");
+    group.sample_size(10);
+    // Wide shared-column groups: the case where traversal order matters.
+    let a = grouped_rows(4096, 8, 48, 7);
+    let cc = CsrCluster::from_csr(&a, &fixed_clustering(&a, 8));
+    group.bench_with_input(BenchmarkId::new("rowwise_csr", "grouped"), &a, |b, a| {
+        b.iter(|| spgemm_serial(a, a))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("cluster_row_major", "grouped"),
+        &(&cc, &a),
+        |b, (cc, a)| b.iter(|| clusterwise_row_major(cc, a)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("cluster_column_major", "grouped"),
+        &(&cc, &a),
+        |b, (cc, a)| {
+            b.iter(|| {
+                cw_core::kernel::clusterwise_spgemm_with(
+                    cc,
+                    a,
+                    &cw_spgemm::SpGemmOptions { parallel: false, ..Default::default() },
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_ablation);
+criterion_main!(benches);

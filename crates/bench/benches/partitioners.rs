@@ -1,0 +1,28 @@
+//! Ablation bench: the graph and hypergraph partitioners backing GP/HP/ND
+//! (the dominant preprocessing costs in Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_datasets::{representative, Scale};
+use cw_partition::{nested_dissection_order, partition_graph, partition_hypergraph, Graph, Hypergraph};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    let d = &representative(Scale::Small)[8]; // M6-like mesh
+    let a = d.build(Scale::Small);
+    let g = Graph::from_matrix(&a);
+    let hg = Hypergraph::column_net_model(&a);
+    group.bench_with_input(BenchmarkId::new("graph_kway", d.name), &g, |b, g| {
+        b.iter(|| partition_graph(g, 16, 7))
+    });
+    group.bench_with_input(BenchmarkId::new("hypergraph_kway", d.name), &hg, |b, hg| {
+        b.iter(|| partition_hypergraph(hg, 16, 7))
+    });
+    group.bench_with_input(BenchmarkId::new("nested_dissection", d.name), &g, |b, g| {
+        b.iter(|| nested_dissection_order(g, 64, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Tables 3–4: tall-skinny (BC frontier) SpGEMM,
+//! row-wise vs hierarchical cluster-wise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cw_core::{clusterwise_spgemm, hierarchical_clustering, ClusterConfig};
+use cw_datasets::frontier::bc_frontiers;
+use cw_datasets::{tall_skinny_suite, Scale};
+use cw_spgemm::spgemm;
+
+fn bench_tall_skinny(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_tall_skinny");
+    group.sample_size(10);
+    for d in tall_skinny_suite(Scale::Small).iter().filter(|d| d.name.contains("road")) {
+        let a = d.build(Scale::Small);
+        let frontiers = bc_frontiers(&a, 32, 3, 1);
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        let (cc, _) = h.build_symmetric(&a);
+        for (i, f) in frontiers.iter().enumerate() {
+            group.bench_with_input(
+                BenchmarkId::new("rowwise", format!("{}-i{}", d.name, i + 1)),
+                &(&a, f),
+                |b, (a, f)| b.iter(|| spgemm(a, f)),
+            );
+            let pf = h.perm.permute_rows(f);
+            group.bench_with_input(
+                BenchmarkId::new("hier-clusterwise", format!("{}-i{}", d.name, i + 1)),
+                &(&cc, &pf),
+                |b, (cc, pf)| b.iter(|| clusterwise_spgemm(cc, pf)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tall_skinny);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Exact LRU stack-distance (reuse-distance) analysis.
+//!
+//! The reuse distance of an access is the number of *distinct* items
+//! referenced since the previous access to the same item (∞ for first
+//! accesses). An access hits in a fully-associative LRU cache of capacity
+//! `C` iff its reuse distance is `< C`, so the histogram characterizes
+//! locality for **every** cache size at once — the cleanest way to compare
+//! row-wise vs cluster-wise traces.
+//!
+//! Implementation: the classic Bennett–Kruskal algorithm. A Fenwick tree
+//! marks the trace positions that are the *most recent* access of some
+//! item; the distance of an access is the count of marked positions after
+//! the item's previous access. `O(T log T)` time, `O(T + N)` space.
+
+/// Histogram of reuse distances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    /// `counts[d]` = number of accesses with reuse distance exactly `d`
+    /// (capped at `counts.len() - 1`; the last bucket aggregates the tail).
+    pub counts: Vec<u64>,
+    /// First-ever accesses (infinite distance — compulsory misses).
+    pub cold: u64,
+}
+
+impl ReuseHistogram {
+    /// Total finite-distance accesses.
+    pub fn reuses(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of accesses that would hit in a fully-associative LRU cache
+    /// holding `capacity` items.
+    pub fn hits_at_capacity(&self, capacity: usize) -> u64 {
+        self.counts.iter().take(capacity.min(self.counts.len())).sum()
+    }
+
+    /// Mean finite reuse distance (`None` when there are no reuses).
+    pub fn mean_distance(&self) -> Option<f64> {
+        let n = self.reuses();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as f64 * c as f64)
+            .sum();
+        Some(total / n as f64)
+    }
+}
+
+/// Fenwick (binary indexed) tree over trace positions.
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Adds `delta` at position `i` (0-based).
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based inclusive).
+    fn prefix(&self, i: usize) -> u32 {
+        let mut i = i + 1;
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Computes the reuse-distance histogram of `trace` over items `0..nitems`.
+///
+/// Distances at or beyond `max_distance` are folded into the final bucket.
+pub fn reuse_distance_histogram(
+    trace: &[u32],
+    nitems: usize,
+    max_distance: usize,
+) -> ReuseHistogram {
+    let t = trace.len();
+    let cap = max_distance.max(1);
+    let mut counts = vec![0u64; cap + 1];
+    let mut cold = 0u64;
+    let mut last_pos: Vec<i64> = vec![-1; nitems];
+    let mut fen = Fenwick::new(t);
+    let mut marked = 0u32; // number of currently marked positions
+    for (pos, &item) in trace.iter().enumerate() {
+        let item = item as usize;
+        let prev = last_pos[item];
+        if prev < 0 {
+            cold += 1;
+        } else {
+            // Distinct items seen strictly after prev = marked positions in
+            // (prev, pos) = total marked - marked in [0, prev].
+            let d = (marked - fen.prefix(prev as usize)) as usize - 0;
+            // The item itself was marked at prev, inside [0, prev]; every
+            // other marked position after prev is a distinct item.
+            counts[d.min(cap)] += 1;
+            fen.add(prev as usize, -1);
+            marked -= 1;
+        }
+        fen.add(pos, 1);
+        marked += 1;
+        last_pos[item] = pos as i64;
+    }
+    ReuseHistogram { counts, cold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let h = reuse_distance_histogram(&[3, 3, 3], 4, 8);
+        assert_eq!(h.cold, 1);
+        assert_eq!(h.counts[0], 2);
+    }
+
+    #[test]
+    fn classic_abcabc() {
+        // a b c a b c: second round all distance 2.
+        let h = reuse_distance_histogram(&[0, 1, 2, 0, 1, 2], 3, 8);
+        assert_eq!(h.cold, 3);
+        assert_eq!(h.counts[2], 3);
+        assert_eq!(h.reuses(), 3);
+        // LRU cache of capacity 3 hits all reuses; capacity 2 hits none.
+        assert_eq!(h.hits_at_capacity(3), 3);
+        assert_eq!(h.hits_at_capacity(2), 0);
+    }
+
+    #[test]
+    fn interleaving_increases_distance() {
+        // a x a with distinct x: distance 1.
+        let h = reuse_distance_histogram(&[0, 1, 0], 2, 8);
+        assert_eq!(h.counts[1], 1);
+        // a x y a: distance 2.
+        let h2 = reuse_distance_histogram(&[0, 1, 2, 0], 3, 8);
+        assert_eq!(h2.counts[2], 1);
+    }
+
+    #[test]
+    fn duplicate_interleaver_counts_once() {
+        // a x x a: only ONE distinct item between the two a's.
+        let h = reuse_distance_histogram(&[0, 1, 1, 0], 2, 8);
+        assert_eq!(h.counts[1], 1, "{:?}", h.counts);
+    }
+
+    #[test]
+    fn tail_folds_into_last_bucket() {
+        // 0 .. 9 then 0: distance 9 folded into bucket 4 (cap 4).
+        let trace: Vec<u32> = (0..10).chain([0]).collect();
+        let h = reuse_distance_histogram(&trace, 10, 4);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.cold, 10);
+    }
+
+    #[test]
+    fn mean_distance() {
+        let h = reuse_distance_histogram(&[0, 1, 0, 1], 2, 8);
+        // Both reuses at distance 1.
+        assert_eq!(h.mean_distance(), Some(1.0));
+        let empty = reuse_distance_histogram(&[0, 1], 2, 8);
+        assert_eq!(empty.mean_distance(), None);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trace() {
+        // Naive O(T^2) reference.
+        fn naive(trace: &[u32], cap: usize) -> (Vec<u64>, u64) {
+            let mut counts = vec![0u64; cap + 1];
+            let mut cold = 0u64;
+            for (pos, &it) in trace.iter().enumerate() {
+                let prev = trace[..pos].iter().rposition(|&x| x == it);
+                match prev {
+                    None => cold += 1,
+                    Some(p) => {
+                        let mut distinct: Vec<u32> = trace[p + 1..pos].to_vec();
+                        distinct.sort_unstable();
+                        distinct.dedup();
+                        counts[distinct.len().min(cap)] += 1;
+                    }
+                }
+            }
+            (counts, cold)
+        }
+        let trace: Vec<u32> =
+            (0..500u32).map(|i| (i.wrapping_mul(2654435761)) % 37).collect();
+        let h = reuse_distance_histogram(&trace, 37, 16);
+        let (counts, cold) = naive(&trace, 16);
+        assert_eq!(h.counts, counts);
+        assert_eq!(h.cold, cold);
+    }
+}

@@ -1,0 +1,46 @@
+//! Clustering parameters (paper §3.2: `jacc_th`, `max_cluster_th`).
+
+/// Parameters shared by variable-length and hierarchical clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Jaccard-similarity threshold for joining a cluster
+    /// (paper experiments: `0.3`).
+    pub jacc_th: f64,
+    /// Maximum rows per cluster (paper experiments: `8`; also the
+    /// `CSR_Cluster` bitmask width, so must stay ≤ 8... ≤ 64 if the mask
+    /// type were widened — the format enforces its own limit).
+    pub max_cluster: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { jacc_th: 0.3, max_cluster: 8 }
+    }
+}
+
+impl ClusterConfig {
+    /// `topK` candidate pairs retained per row in hierarchical clustering:
+    /// `max_cluster_th − 1` (paper Alg. 3, line 2).
+    pub fn topk(&self) -> usize {
+        self.max_cluster.saturating_sub(1).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.jacc_th, 0.3);
+        assert_eq!(c.max_cluster, 8);
+        assert_eq!(c.topk(), 7);
+    }
+
+    #[test]
+    fn topk_floor_is_one() {
+        let c = ClusterConfig { jacc_th: 0.5, max_cluster: 1 };
+        assert_eq!(c.topk(), 1);
+    }
+}

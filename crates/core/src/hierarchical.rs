@@ -1,0 +1,257 @@
+//! Hierarchical clustering (paper Algorithm 3).
+//!
+//! 1. Generate candidate similar-row pairs with one pattern SpGEMM
+//!    `A · Aᵀ`, keeping the top-`(max_cluster−1)` per row by Jaccard score
+//!    ([`cw_spgemm::topk`]).
+//! 2. Greedily merge pairs from a max-heap ordered by similarity, tracked
+//!    with a union-find; a pair whose endpoints were already merged into
+//!    larger clusters is *re-scored* between the cluster representatives
+//!    and re-inserted if still similar (Alg. 3 lines 12–21).
+//! 3. The resulting clusters define both the **row ordering** (members
+//!    become consecutive; clusters ordered by representative) and the
+//!    **`CSR_Cluster`** structure — no separate reordering pass, which is
+//!    the paper's second key change vs. the LSH-based prior work \[32\].
+
+use crate::config::ClusterConfig;
+use crate::format::{Clustering, CsrCluster, MAX_CLUSTER_LEN};
+use crate::unionfind::UnionFind;
+use cw_sparse::jaccard::jaccard;
+use cw_sparse::{CsrMatrix, Permutation};
+use cw_spgemm::topk::spgemm_topk;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Result of hierarchical clustering: the cluster-grouping permutation and
+/// the cluster sizes (in the permuted row order).
+#[derive(Debug, Clone)]
+pub struct HierarchicalClustering {
+    /// Permutation (`new → old`) placing cluster members consecutively.
+    pub perm: Permutation,
+    /// Cluster sizes, aligned with the permuted row order.
+    pub clustering: Clustering,
+}
+
+/// Max-heap key: highest Jaccard first, then smallest `(i, j)` for
+/// determinism.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    score: f64,
+    i: u32,
+    j: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.i.cmp(&self.i))
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Algorithm 3 on `a`, returning the permutation + clustering.
+pub fn hierarchical_clustering(a: &CsrMatrix, cfg: &ClusterConfig) -> HierarchicalClustering {
+    let n = a.nrows;
+    let max_cluster = cfg.max_cluster.clamp(1, MAX_CLUSTER_LEN) as u32;
+
+    // Line 3: candidate pairs via SpGEMM_TopK(A, Aᵀ, topk, jacc_th).
+    let candidates = spgemm_topk(a, cfg.topk(), cfg.jacc_th);
+
+    // Line 5: max-heap of candidates; line 6: singleton cluster ids.
+    let mut heap: BinaryHeap<HeapEntry> = candidates
+        .iter()
+        .map(|p| HeapEntry { score: p.jaccard, i: p.row_i, j: p.row_j })
+        .collect();
+    let mut seen: HashSet<(u32, u32)> =
+        candidates.iter().map(|p| (p.row_i, p.row_j)).collect();
+    let mut uf = UnionFind::new(n);
+
+    // Lines 8–23: greedy merging with stale-pair re-scoring.
+    while let Some(HeapEntry { score: _, i, j }) = heap.pop() {
+        let ri = uf.find(i);
+        let rj = uf.find(j);
+        if ri == rj {
+            continue;
+        }
+        if ri == i && rj == j {
+            // Fresh pair: merge if the size cap allows.
+            if uf.set_size(ri) + uf.set_size(rj) <= max_cluster {
+                uf.union(ri, rj);
+            }
+        } else {
+            // Stale endpoints: re-score the cluster representatives
+            // (the roots' original rows) and re-insert if still similar.
+            let key = if ri < rj { (ri, rj) } else { (rj, ri) };
+            if seen.insert(key) {
+                let s = jaccard(a.row_cols(ri as usize), a.row_cols(rj as usize));
+                if s > cfg.jacc_th {
+                    heap.push(HeapEntry { score: s, i: key.0, j: key.1 });
+                }
+            }
+        }
+    }
+
+    // Lines 25–26: clusters → ordering + sizes. Clusters are ordered by
+    // their representative (root) id, members ascending — deterministic and
+    // close to the original order for untouched rows.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for row in 0..n as u32 {
+        members[uf.find(row) as usize].push(row);
+    }
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut sizes: Vec<u32> = Vec::new();
+    for root in 0..n {
+        if members[root].is_empty() {
+            continue;
+        }
+        sizes.push(members[root].len() as u32);
+        order.extend_from_slice(&members[root]);
+    }
+    let perm = Permutation::from_new_to_old(order)
+        .expect("hierarchical clustering produced a non-permutation");
+    HierarchicalClustering { perm, clustering: Clustering { sizes } }
+}
+
+impl HierarchicalClustering {
+    /// Builds the `CSR_Cluster` operand for the `A²` workload: applies the
+    /// permutation **symmetrically** (`P·A·Pᵀ`, so the second operand moves
+    /// with the first) and lays out the clusters.
+    ///
+    /// Returns the clustered first operand and the permuted square matrix
+    /// (used as `B`).
+    pub fn build_symmetric(&self, a: &CsrMatrix) -> (CsrCluster, CsrMatrix) {
+        let pa = self.perm.permute_symmetric(a);
+        (CsrCluster::from_csr(&pa, &self.clustering), pa)
+    }
+
+    /// Builds the `CSR_Cluster` operand for a rectangular workload
+    /// (`A × B` with independent `B`): permutes **rows only**.
+    pub fn build_rows_only(&self, a: &CsrMatrix) -> CsrCluster {
+        let pa = self.perm.permute_rows(a);
+        CsrCluster::from_csr(&pa, &self.clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen::banded::block_diagonal;
+
+    /// Paper Fig. 7(a): a matrix whose similar rows are *not* adjacent.
+    fn fig7_matrix() -> CsrMatrix {
+        CsrMatrix::from_row_lists(
+            6,
+            vec![
+                vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                vec![(1, 1.0), (2, 1.0), (5, 1.0)],
+                vec![(0, 1.0), (2, 1.0), (4, 1.0)],
+                vec![(3, 1.0), (4, 1.0)],
+                vec![(2, 1.0), (3, 1.0), (4, 1.0)],
+                vec![(1, 1.0), (4, 1.0), (5, 1.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn produces_valid_permutation_and_clustering() {
+        let a = fig7_matrix();
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        assert_eq!(h.perm.len(), 6);
+        h.clustering.validate(6).unwrap();
+    }
+
+    #[test]
+    fn scattered_identical_rows_get_clustered() {
+        // Interleave two row patterns so similar rows are never adjacent:
+        // even rows = {0,1,2}, odd rows = {7,8,9}.
+        let mut rows = Vec::new();
+        for i in 0..12usize {
+            if i % 2 == 0 {
+                rows.push(vec![(0usize, 1.0), (1, 1.0), (2, 1.0)]);
+            } else {
+                rows.push(vec![(7usize, 1.0), (8, 1.0), (9, 1.0)]);
+            }
+        }
+        let a = CsrMatrix::from_row_lists(12, rows);
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        // Variable clustering on the original order sees J=0 between all
+        // neighbors; hierarchical must find the two groups of 6 (≤ cap 8).
+        let max_size = *h.clustering.sizes.iter().max().unwrap();
+        assert!(max_size >= 6, "sizes: {:?}", h.clustering.sizes);
+        // Members of one cluster must share a pattern: check via the
+        // permuted matrix's consecutive similarity.
+        let pa = h.perm.permute_rows(&a);
+        let sim = cw_sparse::stats::avg_consecutive_jaccard(&pa);
+        assert!(sim > 0.8, "consecutive similarity {sim}");
+    }
+
+    #[test]
+    fn respects_cluster_size_cap() {
+        // 20 identical rows with cap 8: no cluster may exceed 8.
+        let rows = vec![vec![(0usize, 1.0), (1, 1.0)]; 20];
+        let a = CsrMatrix::from_row_lists(4, rows);
+        let cfg = ClusterConfig { jacc_th: 0.3, max_cluster: 8 };
+        let h = hierarchical_clustering(&a, &cfg);
+        assert!(h.clustering.sizes.iter().all(|&s| s <= 8), "{:?}", h.clustering.sizes);
+        assert_eq!(h.clustering.nrows(), 20);
+    }
+
+    #[test]
+    fn dissimilar_rows_stay_singletons() {
+        let a = CsrMatrix::identity(8);
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        assert_eq!(h.clustering.sizes, vec![1; 8]);
+        assert!(h.perm.is_identity());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = block_diagonal(48, (3, 6), 0.1, 7);
+        let h1 = hierarchical_clustering(&a, &ClusterConfig::default());
+        let h2 = hierarchical_clustering(&a, &ClusterConfig::default());
+        assert_eq!(h1.perm, h2.perm);
+        assert_eq!(h1.clustering, h2.clustering);
+    }
+
+    #[test]
+    fn build_symmetric_round_trips_product_semantics() {
+        let a = fig7_matrix();
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        let (cc, pa) = h.build_symmetric(&a);
+        cc.validate().unwrap();
+        assert!(cc.to_csr().approx_eq(&pa, 0.0));
+    }
+
+    #[test]
+    fn build_rows_only_keeps_columns() {
+        let a = fig7_matrix();
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        let cc = h.build_rows_only(&a);
+        assert_eq!(cc.ncols, a.ncols);
+        assert_eq!(cc.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn shuffled_block_matrix_recovers_blocks() {
+        // Scramble a perfect block matrix; hierarchical clustering should
+        // regroup rows of the same block.
+        let a = block_diagonal(32, (4, 4), 0.0, 3);
+        let shuffle = cw_sparse::Permutation::from_new_to_old(
+            (0..32u32).map(|i| (i * 13) % 32).collect(),
+        )
+        .unwrap();
+        let scrambled = shuffle.permute_rows(&a);
+        let h = hierarchical_clustering(&scrambled, &ClusterConfig::default());
+        let pa = h.perm.permute_rows(&scrambled);
+        let sim = cw_sparse::stats::avg_consecutive_jaccard(&pa);
+        assert!(sim > 0.7, "similarity after hierarchical clustering: {sim}");
+    }
+}

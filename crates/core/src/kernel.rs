@@ -1,0 +1,329 @@
+//! Cluster-wise SpGEMM (paper Algorithm 1).
+//!
+//! The loop structure — and the whole point of the format — differs from
+//! row-wise Gustavson in *when* a `B` row is visited: once per **cluster**
+//! that references its column, not once per row. While the `B` row is hot,
+//! the kernel applies it to every member row of the cluster (the blue lines
+//! of Alg. 1):
+//!
+//! ```text
+//! for each cluster a_i∗ of A            (parallel)
+//!   for each union column k of the cluster
+//!     for each b_kj in row b_k∗         (B row streamed once)
+//!       for each member row l with a_lk ≠ 0
+//!         c_lj += a_lk · b_kj
+//! ```
+//!
+//! Like the row-wise baseline, the kernel is two-phase (exact symbolic
+//! sizing, then numeric into pre-split output slices) and parallelized over
+//! FLOP-balanced contiguous cluster chunks.
+
+use crate::format::{CsrCluster, MAX_CLUSTER_LEN};
+use cw_sparse::{ColIdx, CsrMatrix, Value};
+use cw_spgemm::accumulator::{make_accumulator, Accumulator};
+use cw_spgemm::rowwise::{balanced_row_chunks, SpGemmOptions};
+use rayon::prelude::*;
+
+/// `C = A · B` where `A` is stored in `CSR_Cluster` form. Default options
+/// (hash accumulator, parallel).
+pub fn clusterwise_spgemm(ac: &CsrCluster, b: &CsrMatrix) -> CsrMatrix {
+    clusterwise_spgemm_with(ac, b, &SpGemmOptions::default())
+}
+
+/// [`clusterwise_spgemm`] with explicit accumulator/parallelism options.
+pub fn clusterwise_spgemm_with(
+    ac: &CsrCluster,
+    b: &CsrMatrix,
+    opts: &SpGemmOptions,
+) -> CsrMatrix {
+    assert_eq!(
+        ac.ncols, b.nrows,
+        "dimension mismatch: clustered A is {}x{}, B is {}x{}",
+        ac.nrows, ac.ncols, b.nrows, b.ncols
+    );
+    if opts.parallel {
+        parallel_impl(ac, b, opts)
+    } else {
+        serial_impl(ac, b, opts)
+    }
+}
+
+/// Runs Alg. 1's inner loops for cluster `c`, scattering into one
+/// accumulator per member row.
+#[inline]
+fn accumulate_cluster(
+    ac: &CsrCluster,
+    b: &CsrMatrix,
+    c: usize,
+    accs: &mut [Box<dyn Accumulator>],
+) {
+    let k = ac.cluster_size(c);
+    let cols = ac.cluster_cols(c);
+    let masks = ac.cluster_masks(c);
+    let vals = ac.cluster_vals(c);
+    for (p, (&col, &mask)) in cols.iter().zip(masks).enumerate() {
+        // Member values at this union column (incl. padding slots).
+        let av = &vals[p * k..(p + 1) * k];
+        let (b_cols, b_vals) = b.row(col as usize);
+        // Paper Alg. 1 lines 4–7: B entry outer, member rows inner — b_kj
+        // stays in a register while it is applied to every member row.
+        for (&j, &bv) in b_cols.iter().zip(b_vals) {
+            let mut m = mask;
+            while m != 0 {
+                let r = m.trailing_zeros() as usize;
+                m &= m - 1;
+                accs[r].add(j, av[r] * bv);
+            }
+        }
+    }
+}
+
+fn make_accs(opts: &SpGemmOptions, ncols: usize) -> Vec<Box<dyn Accumulator>> {
+    (0..MAX_CLUSTER_LEN).map(|_| make_accumulator(opts.acc, ncols)).collect()
+}
+
+fn serial_impl(ac: &CsrCluster, b: &CsrMatrix, opts: &SpGemmOptions) -> CsrMatrix {
+    let mut accs = make_accs(opts, b.ncols);
+    let mut row_ptr = Vec::with_capacity(ac.nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<ColIdx> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    for c in 0..ac.nclusters() {
+        let k = ac.cluster_size(c);
+        accumulate_cluster(ac, b, c, &mut accs);
+        for acc in accs.iter_mut().take(k) {
+            acc.extract_into(&mut col_idx, &mut vals);
+            row_ptr.push(col_idx.len());
+        }
+    }
+    CsrMatrix { nrows: ac.nrows, ncols: b.ncols, row_ptr, col_idx, vals }
+}
+
+/// Exact per-row output sizes, computed cluster-parallel.
+fn symbolic(ac: &CsrCluster, b: &CsrMatrix, opts: &SpGemmOptions) -> Vec<usize> {
+    let per_cluster: Vec<Vec<usize>> = (0..ac.nclusters())
+        .into_par_iter()
+        .map_init(
+            || make_accs(opts, b.ncols),
+            |accs, c| {
+                let k = ac.cluster_size(c);
+                accumulate_cluster(ac, b, c, accs);
+                accs.iter_mut()
+                    .take(k)
+                    .map(|acc| {
+                        let n = acc.len();
+                        acc.clear();
+                        n
+                    })
+                    .collect()
+            },
+        )
+        .collect();
+    per_cluster.into_iter().flatten().collect()
+}
+
+/// Multiply-add count per cluster (for chunk balancing).
+fn flops_per_cluster(ac: &CsrCluster, b: &CsrMatrix) -> Vec<u64> {
+    (0..ac.nclusters())
+        .into_par_iter()
+        .map(|c| {
+            ac.cluster_cols(c)
+                .iter()
+                .zip(ac.cluster_masks(c))
+                .map(|(&col, &mask)| mask.count_ones() as u64 * b.row_nnz(col as usize) as u64)
+                .sum()
+        })
+        .collect()
+}
+
+fn parallel_impl(ac: &CsrCluster, b: &CsrMatrix, opts: &SpGemmOptions) -> CsrMatrix {
+    let row_nnz = symbolic(ac, b, opts);
+    let mut row_ptr = Vec::with_capacity(ac.nrows + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for &n in &row_nnz {
+        total += n;
+        row_ptr.push(total);
+    }
+    let mut col_idx = vec![0 as ColIdx; total];
+    let mut vals = vec![0.0 as Value; total];
+
+    let flops = flops_per_cluster(ac, b);
+    let n_chunks = rayon::current_num_threads() * opts.chunks_per_thread;
+    let ranges = balanced_row_chunks(&flops, n_chunks); // chunks of *clusters*
+
+    struct Job<'s> {
+        clusters: (usize, usize),
+        cols: &'s mut [ColIdx],
+        vals: &'s mut [Value],
+    }
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest_c: &mut [ColIdx] = &mut col_idx;
+        let mut rest_v: &mut [Value] = &mut vals;
+        let mut consumed = 0usize;
+        for &(s, e) in &ranges {
+            // Row range covered by clusters [s, e).
+            let row_end = ac.row_start[e] as usize;
+            let len = row_ptr[row_end] - consumed;
+            let (c_here, c_rest) = rest_c.split_at_mut(len);
+            let (v_here, v_rest) = rest_v.split_at_mut(len);
+            rest_c = c_rest;
+            rest_v = v_rest;
+            consumed = row_ptr[row_end];
+            jobs.push(Job { clusters: (s, e), cols: c_here, vals: v_here });
+        }
+    }
+
+    jobs.par_iter_mut().for_each_init(
+        || (make_accs(opts, b.ncols), Vec::<ColIdx>::new(), Vec::<Value>::new()),
+        |(accs, buf_c, buf_v), job| {
+            let (s, e) = job.clusters;
+            buf_c.clear();
+            buf_v.clear();
+            for c in s..e {
+                let k = ac.cluster_size(c);
+                accumulate_cluster(ac, b, c, accs);
+                for acc in accs.iter_mut().take(k) {
+                    acc.extract_into(buf_c, buf_v);
+                }
+            }
+            job.cols.copy_from_slice(buf_c);
+            job.vals.copy_from_slice(buf_v);
+        },
+    );
+
+    CsrMatrix { nrows: ac.nrows, ncols: b.ncols, row_ptr, col_idx, vals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::format::Clustering;
+    use crate::{fixed_clustering, hierarchical_clustering, variable_clustering};
+    use cw_sparse::gen::banded::{block_diagonal, grouped_rows};
+    use cw_sparse::gen::er::{erdos_renyi, erdos_renyi_rect};
+    use cw_sparse::gen::grid::poisson2d;
+    use cw_spgemm::rowwise::{spgemm_serial, SpGemmOptions};
+    use cw_spgemm::AccumulatorKind;
+
+    fn assert_matches_rowwise(a: &CsrMatrix, clustering: &Clustering) {
+        let cc = CsrCluster::from_csr(a, clustering);
+        cc.validate().unwrap();
+        let expect = spgemm_serial(a, a);
+        for parallel in [false, true] {
+            for acc in [AccumulatorKind::Hash, AccumulatorKind::Dense, AccumulatorKind::Sort] {
+                let got = clusterwise_spgemm_with(
+                    &cc,
+                    a,
+                    &SpGemmOptions { acc, parallel, chunks_per_thread: 3 },
+                );
+                assert!(
+                    got.approx_eq(&expect, 1e-10),
+                    "mismatch acc={acc:?} parallel={parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_matrix_fixed_clusters_match_rowwise() {
+        let a = CsrMatrix::from_row_lists(
+            6,
+            vec![
+                vec![(0, 1.0), (1, 2.0), (2, 3.0)],
+                vec![(1, 4.0), (2, 5.0), (5, 6.0)],
+                vec![(0, 7.0), (1, 8.0), (5, 9.0)],
+                vec![(3, 10.0), (4, 11.0), (5, 12.0)],
+                vec![(2, 13.0), (4, 14.0), (5, 15.0)],
+                vec![(0, 16.0), (3, 17.0)],
+            ],
+        );
+        assert_matches_rowwise(&a, &Clustering { sizes: vec![3, 3] });
+        assert_matches_rowwise(&a, &Clustering { sizes: vec![3, 2, 1] });
+        assert_matches_rowwise(&a, &Clustering { sizes: vec![1; 6] });
+        assert_matches_rowwise(&a, &Clustering { sizes: vec![6] });
+    }
+
+    #[test]
+    fn poisson_squared_all_cluster_lengths() {
+        let a = poisson2d(9, 7);
+        for k in [1usize, 2, 4, 8] {
+            assert_matches_rowwise(&a, &fixed_clustering(&a, k));
+        }
+    }
+
+    #[test]
+    fn variable_clustering_correctness() {
+        let a = grouped_rows(80, 5, 7, 2);
+        let c = variable_clustering(&a, &ClusterConfig::default());
+        assert_matches_rowwise(&a, &c);
+    }
+
+    #[test]
+    fn hierarchical_pipeline_correctness_a_squared() {
+        let a = block_diagonal(60, (3, 7), 0.15, 5);
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        let (cc, pa) = h.build_symmetric(&a);
+        let got = clusterwise_spgemm(&cc, &pa);
+        // Reference: row-wise SpGEMM on the permuted matrix.
+        let expect = spgemm_serial(&pa, &pa);
+        assert!(got.approx_eq(&expect, 1e-10));
+        // And the permuted product equals the permutation of the product.
+        let c_orig = spgemm_serial(&a, &a);
+        let expect2 = h.perm.permute_symmetric(&c_orig);
+        assert!(got.numerically_eq(&expect2, 1e-9));
+    }
+
+    #[test]
+    fn rectangular_tall_skinny_b() {
+        let a = erdos_renyi(50, 6, 3);
+        let b = erdos_renyi_rect(50, 12, 2, 4);
+        let cc = CsrCluster::from_csr(&a, &fixed_clustering(&a, 4));
+        let got = clusterwise_spgemm(&cc, &b);
+        let expect = spgemm_serial(&a, &b);
+        assert!(got.approx_eq(&expect, 1e-10));
+        assert_eq!(got.ncols, 12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::zeros(5, 5);
+        let cc = CsrCluster::from_csr(&a, &fixed_clustering(&a, 2));
+        let got = clusterwise_spgemm(&cc, &a);
+        assert_eq!(got.nnz(), 0);
+        assert_eq!(got.nrows, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = CsrMatrix::zeros(4, 4);
+        let b = CsrMatrix::zeros(5, 4);
+        let cc = CsrCluster::from_csr(&a, &fixed_clustering(&a, 2));
+        let _ = clusterwise_spgemm(&cc, &b);
+    }
+
+    #[test]
+    fn symbolic_sizes_match_numeric() {
+        let a = poisson2d(6, 6);
+        let cc = CsrCluster::from_csr(&a, &fixed_clustering(&a, 4));
+        let sizes = symbolic(&cc, &a, &SpGemmOptions::default());
+        let c = clusterwise_spgemm(&cc, &a);
+        let actual: Vec<usize> = (0..c.nrows).map(|i| c.row_nnz(i)).collect();
+        assert_eq!(sizes, actual);
+    }
+
+    #[test]
+    fn flops_per_cluster_counts_real_entries_only() {
+        // Padding slots must not contribute flops.
+        let a = CsrMatrix::from_row_lists(
+            3,
+            vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]],
+        );
+        let cc = CsrCluster::from_csr(&a, &Clustering { sizes: vec![3] });
+        let b = CsrMatrix::identity(3);
+        assert_eq!(flops_per_cluster(&cc, &b), vec![3]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Memory-footprint accounting for `CSR_Cluster` vs CSR (paper Fig. 11).
+//!
+//! The interesting observation the paper makes: `CSR_Cluster` is often
+//! *smaller* than CSR because the union column list replaces per-row column
+//! indices — when clustered rows share structure, one `u32` index serves up
+//! to 8 values. Padding pushes the ratio the other way; `max_cluster_th`
+//! bounds the worst case.
+
+use crate::format::CsrCluster;
+use cw_sparse::CsrMatrix;
+
+/// Breakdown of a clustered matrix's memory relative to its CSR source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryReport {
+    /// Bytes of the CSR baseline (indices + values + row pointers).
+    pub csr_bytes: usize,
+    /// Bytes of the `CSR_Cluster` representation.
+    pub cluster_bytes: usize,
+    /// `cluster_bytes / csr_bytes` — the Fig. 11 x-axis.
+    pub ratio: f64,
+    /// Stored (real) entries.
+    pub nnz: usize,
+    /// Padding value slots.
+    pub padding: usize,
+    /// Union column ids stored (≤ nnz; smaller = more sharing).
+    pub union_cols: usize,
+}
+
+/// Computes the memory report of `cc` against its CSR source `a`.
+pub fn memory_report(cc: &CsrCluster, a: &CsrMatrix) -> MemoryReport {
+    let csr_bytes = a.memory_bytes();
+    let cluster_bytes = cc.memory_bytes();
+    MemoryReport {
+        csr_bytes,
+        cluster_bytes,
+        ratio: cluster_bytes as f64 / csr_bytes.max(1) as f64,
+        nnz: cc.nnz(),
+        padding: cc.padding_slots(),
+        union_cols: cc.col_ids.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::format::Clustering;
+    use crate::{fixed_clustering, variable_clustering};
+    use cw_sparse::gen::banded::block_diagonal;
+    use cw_sparse::gen::er::erdos_renyi;
+
+    #[test]
+    fn identical_row_blocks_compress_below_csr() {
+        // Perfect 8-row blocks: union columns shrink 8x, no padding.
+        let a = block_diagonal(64, (8, 8), 0.0, 1);
+        let c = variable_clustering(&a, &ClusterConfig::default());
+        let cc = crate::CsrCluster::from_csr(&a, &c);
+        let r = memory_report(&cc, &a);
+        assert_eq!(r.padding, 0);
+        assert!(r.ratio < 1.0, "ratio {}", r.ratio);
+        assert_eq!(r.union_cols * 8, r.nnz);
+    }
+
+    #[test]
+    fn random_rows_with_forced_fixed_clusters_pay_padding() {
+        // Uniform random rows share nothing; fixed-8 clustering pads ~8x.
+        let a = erdos_renyi(64, 6, 9);
+        let cc = crate::CsrCluster::from_csr(&a, &fixed_clustering(&a, 8));
+        let r = memory_report(&cc, &a);
+        assert!(r.ratio > 1.5, "ratio {}", r.ratio);
+        assert!(r.padding > r.nnz, "padding {} vs nnz {}", r.padding, r.nnz);
+    }
+
+    #[test]
+    fn variable_clustering_never_much_worse_than_singletons() {
+        // Variable-length clustering only merges similar rows, so its
+        // padding stays bounded; ratio should stay below the fixed-8 ratio.
+        let a = erdos_renyi(64, 6, 9);
+        let var = crate::CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default()));
+        let fix = crate::CsrCluster::from_csr(&a, &fixed_clustering(&a, 8));
+        let rv = memory_report(&var, &a);
+        let rf = memory_report(&fix, &a);
+        assert!(rv.ratio <= rf.ratio, "variable {} vs fixed {}", rv.ratio, rf.ratio);
+    }
+
+    #[test]
+    fn singleton_clustering_is_near_csr() {
+        let a = erdos_renyi(32, 5, 2);
+        let cc = crate::CsrCluster::from_csr(&a, &Clustering { sizes: vec![1; 32] });
+        let r = memory_report(&cc, &a);
+        // Same nnz storage + masks + extra pointer arrays: within ~40%.
+        assert!(r.ratio < 1.4, "ratio {}", r.ratio);
+        assert_eq!(r.padding, 0);
+    }
+}

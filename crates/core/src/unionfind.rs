@@ -1,0 +1,95 @@
+//! Union-find (disjoint sets) with path compression and size tracking, used
+//! by hierarchical clustering (paper Alg. 3, lines 10–14).
+
+/// Disjoint-set forest over `0..n` with per-set sizes.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Root of `x`'s set (with path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Merges the sets of `a` and `b`. The **smaller root id wins** (so the
+    /// surviving representative is stable and deterministic). Returns the
+    /// new root, or `None` if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> Option<u32> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        let (keep, absorb) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[absorb as usize] = keep;
+        self.size[keep as usize] += self.size[absorb as usize];
+        Some(keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_union() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.find(3), 3);
+        assert_eq!(uf.set_size(3), 1);
+        assert_eq!(uf.union(1, 3), Some(1));
+        assert_eq!(uf.find(3), 1);
+        assert_eq!(uf.set_size(1), 2);
+        assert_eq!(uf.union(1, 3), None);
+    }
+
+    #[test]
+    fn smaller_root_wins() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(2, 4);
+        assert_eq!(uf.find(5), 2);
+        uf.union(5, 0);
+        assert_eq!(uf.find(4), 0);
+        assert_eq!(uf.set_size(0), 4);
+    }
+
+    #[test]
+    fn transitive_chains_compress() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99u32 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_size(50), 100);
+        assert_eq!(uf.find(99), 0);
+    }
+}

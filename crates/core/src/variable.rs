@@ -1,0 +1,127 @@
+//! Variable-length clustering (paper Algorithm 2).
+//!
+//! Scans rows in order, growing the current cluster while the incoming
+//! row's Jaccard similarity against the cluster's *representative* (first)
+//! row stays at or above `jacc_th`, and the cluster stays below
+//! `max_cluster_th`. Comparing against the representative only — not every
+//! member — is the paper's explicit accuracy/cost compromise (§3.2).
+
+use crate::config::ClusterConfig;
+use crate::format::Clustering;
+use cw_sparse::jaccard::jaccard;
+use cw_sparse::CsrMatrix;
+
+/// Runs Algorithm 2 on the rows of `a` in their current order.
+pub fn variable_clustering(a: &CsrMatrix, cfg: &ClusterConfig) -> Clustering {
+    let max = cfg.max_cluster.clamp(1, crate::format::MAX_CLUSTER_LEN) as u32;
+    let mut sizes: Vec<u32> = Vec::new();
+    if a.nrows == 0 {
+        return Clustering { sizes };
+    }
+    let mut rep_row = 0usize; // representative of the open cluster
+    let mut cluster_sz = 1u32;
+    for i in 1..a.nrows {
+        let score = jaccard(a.row_cols(rep_row), a.row_cols(i));
+        if score < cfg.jacc_th || cluster_sz == max {
+            sizes.push(cluster_sz);
+            rep_row = i;
+            cluster_sz = 1;
+        } else {
+            cluster_sz += 1;
+        }
+    }
+    sizes.push(cluster_sz);
+    Clustering { sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reordered matrix of paper Fig. 5(b)'s walk-through (§3.2):
+    /// rows 0–2 similar, row 3 breaks, rows 3–4 similar, row 5 breaks.
+    fn fig5_matrix() -> CsrMatrix {
+        CsrMatrix::from_row_lists(
+            6,
+            vec![
+                vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                vec![(1, 1.0), (2, 1.0), (5, 1.0)],
+                vec![(0, 1.0), (1, 1.0), (5, 1.0)],
+                vec![(3, 1.0), (4, 1.0), (5, 1.0)],
+                vec![(2, 1.0), (4, 1.0), (5, 1.0)],
+                vec![(0, 1.0), (3, 1.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn fig5b_walkthrough_produces_3_2_1() {
+        // Paper §3.2: "This results in clusters: rows 0–2, 3–4, and 5."
+        let a = fig5_matrix();
+        let c = variable_clustering(&a, &ClusterConfig { jacc_th: 0.3, max_cluster: 8 });
+        assert_eq!(c.sizes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn threshold_one_requires_identical_rows() {
+        let a = fig5_matrix();
+        let c = variable_clustering(&a, &ClusterConfig { jacc_th: 1.0 + 1e-12, max_cluster: 8 });
+        assert_eq!(c.sizes, vec![1; 6]);
+    }
+
+    #[test]
+    fn threshold_zero_groups_up_to_cap() {
+        let a = fig5_matrix();
+        let c = variable_clustering(&a, &ClusterConfig { jacc_th: 0.0, max_cluster: 4 });
+        // Everything joins until the cap forces a break.
+        assert_eq!(c.sizes, vec![4, 2]);
+        assert_eq!(c.nrows(), 6);
+    }
+
+    #[test]
+    fn comparison_is_against_representative_not_previous() {
+        // r0 = {0,1}; r1 = {0,1,2,3} (J=0.5 vs r0);
+        // r2 = {2,3,4,5} (J=0.5 vs r1 BUT 0 vs representative r0).
+        let a = CsrMatrix::from_row_lists(
+            6,
+            vec![
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+                vec![(2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0)],
+            ],
+        );
+        let c = variable_clustering(&a, &ClusterConfig { jacc_th: 0.3, max_cluster: 8 });
+        // Row 2 must start a new cluster because its similarity to the
+        // *representative* (row 0) is 0, even though similarity to row 1 is 0.5.
+        assert_eq!(c.sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let empty = CsrMatrix::zeros(0, 0);
+        assert!(variable_clustering(&empty, &ClusterConfig::default()).sizes.is_empty());
+        let one = CsrMatrix::identity(1);
+        assert_eq!(variable_clustering(&one, &ClusterConfig::default()).sizes, vec![1]);
+    }
+
+    #[test]
+    fn clustering_always_valid() {
+        let a = cw_sparse::gen::banded::grouped_rows(100, 5, 6, 3);
+        for th in [0.0, 0.3, 0.7, 1.1] {
+            for max in [1usize, 3, 8] {
+                let c = variable_clustering(&a, &ClusterConfig { jacc_th: th, max_cluster: max });
+                c.validate(100).unwrap();
+                assert!(c.sizes.iter().all(|&s| s as usize <= max));
+            }
+        }
+    }
+
+    #[test]
+    fn block_matrix_recovers_blocks() {
+        // Perfect 4-row blocks: variable clustering with any threshold < 1
+        // should produce clusters of exactly 4 (identical rows inside).
+        let a = cw_sparse::gen::banded::block_diagonal(32, (4, 4), 0.0, 5);
+        let c = variable_clustering(&a, &ClusterConfig { jacc_th: 0.3, max_cluster: 8 });
+        assert_eq!(c.sizes, vec![4; 8]);
+    }
+}

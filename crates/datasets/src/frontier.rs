@@ -1,0 +1,146 @@
+//! BC BFS-frontier generation — the tall-skinny `B` matrices of §4.4.
+//!
+//! Betweenness centrality runs many simultaneous BFS traversals; expressed
+//! in matrix algebra, iteration `i` multiplies the adjacency matrix by a
+//! *frontier matrix* `F_i` whose column `j` marks the vertices at BFS level
+//! `i` from source `j`. The paper takes the first 10 forward frontiers
+//! produced by CombBLAS; this module reproduces them with a batched BFS.
+
+use cw_sparse::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the first `max_iters` BFS frontier matrices of a batched BFS
+/// from `sources` random sources over the graph of `a` (pattern, directed
+/// as stored). Each returned matrix is `n × sources`; entry `(v, j) = 1`
+/// iff vertex `v` is at level `i` of source `j`'s BFS.
+///
+/// Frontiers stop early (fewer than `max_iters` matrices) once every BFS is
+/// exhausted. `F_0` (the sources themselves) is *not* returned — the first
+/// returned matrix is the level-1 frontier, matching "forward frontier"
+/// counting.
+pub fn bc_frontiers(a: &CsrMatrix, sources: usize, max_iters: usize, seed: u64) -> Vec<CsrMatrix> {
+    assert_eq!(a.nrows, a.ncols, "BC frontiers need a square adjacency matrix");
+    let n = a.nrows;
+    let sources = sources.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Sample distinct sources.
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for i in 0..sources {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    let srcs = &pool[..sources];
+
+    // visited[j] bitset per source; frontier as per-source vertex lists.
+    let mut visited: Vec<Vec<bool>> = vec![vec![false; n]; sources];
+    let mut frontier: Vec<Vec<u32>> = Vec::with_capacity(sources);
+    for (j, &s) in srcs.iter().enumerate() {
+        visited[j][s as usize] = true;
+        frontier.push(vec![s]);
+    }
+
+    let mut result = Vec::with_capacity(max_iters);
+    for _iter in 0..max_iters {
+        // Advance every source's frontier one level.
+        let mut next: Vec<Vec<u32>> = vec![Vec::new(); sources];
+        let mut total = 0usize;
+        for j in 0..sources {
+            for &v in &frontier[j] {
+                for &u in a.row_cols(v as usize) {
+                    let u = u as usize;
+                    if !visited[j][u] {
+                        visited[j][u] = true;
+                        next[j].push(u as u32);
+                    }
+                }
+            }
+            next[j].sort_unstable();
+            total += next[j].len();
+        }
+        if total == 0 {
+            break;
+        }
+        // Assemble the n × sources frontier matrix.
+        let mut coo = CooMatrix::with_capacity(n, sources, total);
+        for (j, level) in next.iter().enumerate() {
+            for &v in level {
+                coo.push(v as usize, j, 1.0);
+            }
+        }
+        result.push(coo.to_csr());
+        frontier = next;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen::grid::poisson2d;
+    use cw_sparse::gen::rmat::{rmat, RmatParams};
+
+    #[test]
+    fn frontier_shapes_and_disjointness() {
+        let a = poisson2d(12, 12);
+        let fs = bc_frontiers(&a, 8, 10, 1);
+        assert!(!fs.is_empty());
+        for f in &fs {
+            assert_eq!(f.nrows, 144);
+            assert_eq!(f.ncols, 8);
+            f.validate().unwrap();
+        }
+        // A vertex appears at most once per source across all frontiers.
+        let mut seen = vec![vec![false; 8]; 144];
+        for f in &fs {
+            for (v, j, _) in f.iter() {
+                assert!(!seen[v][j], "vertex {v} revisited for source {j}");
+                seen[v][j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn first_frontier_is_neighbors_of_sources() {
+        let a = poisson2d(5, 5);
+        let fs = bc_frontiers(&a, 1, 3, 7);
+        let f1 = &fs[0];
+        // Level-1 frontier of the single source: its stencil neighbors
+        // (diagonal entry keeps the source itself visited, not re-added).
+        let col_nnz = f1.nnz();
+        assert!((2..=4).contains(&col_nnz), "level-1 size {col_nnz}");
+    }
+
+    #[test]
+    fn grid_bfs_levels_grow_then_shrink() {
+        let a = poisson2d(16, 16);
+        let fs = bc_frontiers(&a, 1, 30, 3);
+        let sizes: Vec<usize> = fs.iter().map(|f| f.nnz()).collect();
+        // Diamond-shaped BFS wave: grows to a peak then shrinks.
+        let peak = sizes.iter().copied().max().unwrap();
+        let peak_pos = sizes.iter().position(|&s| s == peak).unwrap();
+        assert!(peak_pos > 0 && peak_pos < sizes.len() - 1, "sizes {sizes:?}");
+        // Total visited = all reachable vertices (level 0 excluded).
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 256 - 1);
+    }
+
+    #[test]
+    fn powerlaw_bfs_exhausts_quickly() {
+        let a = rmat(9, 8, RmatParams::default(), 5);
+        let fs = bc_frontiers(&a, 4, 10, 2);
+        // Small-world graphs have tiny diameters: far fewer than 10 levels.
+        assert!(fs.len() < 10, "{} levels", fs.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = poisson2d(8, 8);
+        let f1 = bc_frontiers(&a, 4, 5, 9);
+        let f2 = bc_frontiers(&a, 4, 5, 9);
+        assert_eq!(f1.len(), f2.len());
+        for (x, y) in f1.iter().zip(&f2) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Weighted undirected graph representation and traversal utilities.
+
+use cw_sparse::CsrMatrix;
+use std::collections::VecDeque;
+
+/// An undirected graph in adjacency (CSR-like) form with vertex and edge
+/// weights. Every edge is stored in both directions with equal weight; no
+/// self-loops.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Adjacency offsets, `xadj.len() == nvtx + 1`.
+    pub xadj: Vec<usize>,
+    /// Neighbor lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: Vec<u64>,
+    /// Vertex weights.
+    pub vwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn nvtx(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbor ids and edge weights of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> (&[u32], &[u64]) {
+        let lo = self.xadj[v];
+        let hi = self.xadj[v + 1];
+        (&self.adjncy[lo..hi], &self.adjwgt[lo..hi])
+    }
+
+    /// Degree of `v` (neighbor count).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Builds the adjacency graph of a square matrix: vertices are rows,
+    /// edges connect `i ↔ j` when `a_ij` or `a_ji` is nonzero (`i ≠ j`).
+    /// Unit vertex and edge weights.
+    pub fn from_matrix(a: &CsrMatrix) -> Graph {
+        let s = a.symmetrized_pattern();
+        Graph {
+            xadj: s.row_ptr.clone(),
+            adjncy: s.col_idx.clone(),
+            adjwgt: vec![1; s.nnz()],
+            vwgt: vec![1; s.nrows],
+        }
+    }
+
+    /// BFS distances from `start` (u32::MAX for unreachable). Returns
+    /// `(levels, last_visited, reached_count)` — `last_visited` is a vertex
+    /// in the final BFS level, used by the pseudo-peripheral search.
+    pub fn bfs_levels(&self, start: usize) -> (Vec<u32>, usize, usize) {
+        let mut level = vec![u32::MAX; self.nvtx()];
+        let mut queue = VecDeque::new();
+        level[start] = 0;
+        queue.push_back(start as u32);
+        let mut last = start;
+        let mut reached = 1usize;
+        while let Some(v) = queue.pop_front() {
+            last = v as usize;
+            let (nbrs, _) = self.neighbors(v as usize);
+            for &u in nbrs {
+                if level[u as usize] == u32::MAX {
+                    level[u as usize] = level[v as usize] + 1;
+                    reached += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        (level, last, reached)
+    }
+
+    /// George–Liu style pseudo-peripheral vertex of the component containing
+    /// `start`: repeat BFS from the farthest low-degree vertex of the last
+    /// level until the eccentricity stops growing.
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let (mut level, mut last, _) = self.bfs_levels(start);
+        let mut ecc = level[last];
+        loop {
+            // Among the deepest level, pick the minimum-degree vertex.
+            let deepest = level[last];
+            let mut best = last;
+            let mut best_deg = usize::MAX;
+            for u in 0..self.nvtx() {
+                if level[u] == deepest {
+                    let d = self.degree(u);
+                    if d < best_deg {
+                        best_deg = d;
+                        best = u;
+                    }
+                }
+            }
+            let (l2, last2, _) = self.bfs_levels(best);
+            let ecc2 = l2[last2];
+            if ecc2 > ecc {
+                level = l2;
+                last = last2;
+                ecc = ecc2;
+            } else {
+                return best;
+            }
+        }
+    }
+
+    /// Connected components: returns `(component_id_per_vertex, count)`.
+    /// Component ids are assigned in order of the smallest vertex contained.
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.nvtx()];
+        let mut next = 0u32;
+        let mut queue = VecDeque::new();
+        for s in 0..self.nvtx() {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = next;
+            queue.push_back(s as u32);
+            while let Some(v) = queue.pop_front() {
+                let (nbrs, _) = self.neighbors(v as usize);
+                for &u in nbrs {
+                    if comp[u as usize] == u32::MAX {
+                        comp[u as usize] = next;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Extracts the vertex-induced subgraph over `vertices` (which need not
+    /// be sorted). Returns the subgraph and the mapping `sub_id -> orig_id`.
+    pub fn subgraph(&self, vertices: &[u32]) -> (Graph, Vec<u32>) {
+        let mut global_to_local = vec![u32::MAX; self.nvtx()];
+        for (loc, &v) in vertices.iter().enumerate() {
+            global_to_local[v as usize] = loc as u32;
+        }
+        let mut xadj = Vec::with_capacity(vertices.len() + 1);
+        xadj.push(0usize);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            let (nbrs, wgts) = self.neighbors(v as usize);
+            for (&u, &w) in nbrs.iter().zip(wgts) {
+                let lu = global_to_local[u as usize];
+                if lu != u32::MAX {
+                    adjncy.push(lu);
+                    adjwgt.push(w);
+                }
+            }
+            xadj.push(adjncy.len());
+            vwgt.push(self.vwgt[v as usize]);
+        }
+        (Graph { xadj, adjncy, adjwgt, vwgt }, vertices.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen::grid::poisson2d;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                adjncy.push((v - 1) as u32);
+            }
+            if v + 1 < n {
+                adjncy.push((v + 1) as u32);
+            }
+            xadj.push(adjncy.len());
+        }
+        let ne = adjncy.len();
+        Graph { xadj, adjncy, adjwgt: vec![1; ne], vwgt: vec![1; n] }
+    }
+
+    #[test]
+    fn from_matrix_drops_diagonal() {
+        let a = poisson2d(3, 3);
+        let g = Graph::from_matrix(&a);
+        assert_eq!(g.nvtx(), 9);
+        // Poisson has diagonal + 4 neighbors; the graph keeps only neighbors.
+        assert_eq!(g.degree(4), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.nedges(), 12);
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path_graph(5);
+        let (levels, last, reached) = g.bfs_levels(0);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(last, 4);
+        assert_eq!(reached, 5);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_endpoint() {
+        let g = path_graph(9);
+        let p = g.pseudo_peripheral(4);
+        assert!(p == 0 || p == 8, "got {p}");
+    }
+
+    #[test]
+    fn connected_components_two_islands() {
+        // Two disjoint edges: 0-1, 2-3.
+        let g = Graph {
+            xadj: vec![0, 1, 2, 3, 4],
+            adjncy: vec![1, 0, 3, 2],
+            adjwgt: vec![1; 4],
+            vwgt: vec![1; 4],
+        };
+        let (comp, n) = g.connected_components();
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_edges_only() {
+        let g = path_graph(5);
+        let (sub, map) = g.subgraph(&[1, 2, 4]);
+        assert_eq!(sub.nvtx(), 3);
+        assert_eq!(map, vec![1, 2, 4]);
+        // Edge 1-2 survives; vertex 4 is isolated in the subgraph.
+        assert_eq!(sub.degree(0), 1);
+        assert_eq!(sub.degree(1), 1);
+        assert_eq!(sub.degree(2), 0);
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_marked() {
+        let g = Graph {
+            xadj: vec![0, 1, 2, 2],
+            adjncy: vec![1, 0],
+            adjwgt: vec![1, 1],
+            vwgt: vec![1; 3],
+        };
+        let (levels, _, reached) = g.bfs_levels(0);
+        assert_eq!(reached, 2);
+        assert_eq!(levels[2], u32::MAX);
+    }
+}

@@ -1,0 +1,181 @@
+//! Reordering advisor — a rule-based realization of the paper's future-work
+//! item ("using machine learning to predict the best choice of reordering
+//! combined with the best clustering scheme", §5).
+//!
+//! The evaluation's empirical findings reduce to a small decision surface
+//! over cheap structural statistics:
+//!
+//! * rows already similar in order (high consecutive Jaccard) → clustering
+//!   alone, no reordering;
+//! * mesh-like matrices with destroyed locality (low bandwidth ratio is
+//!   recoverable, bounded degree) → RCM / GP (paper Fig. 9);
+//! * power-law degree distributions → Degree / SlashBurn families;
+//! * unstructured uniform sparsity → nothing helps, keep Original
+//!   (paper: "no one-size-fits-all reordering method");
+//! * everything else → hierarchical clustering, the balanced default.
+//!
+//! The advisor returns a ranked list so callers can fall through under a
+//! preprocessing budget.
+
+use crate::Reordering;
+use cw_sparse::stats::{stats, MatrixStats};
+use cw_sparse::CsrMatrix;
+
+/// What the advisor suggests doing with the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suggestion {
+    /// Apply this reordering before row-wise or cluster-wise SpGEMM.
+    Reorder(Reordering),
+    /// Skip reordering; apply variable-length clustering directly.
+    ClusterInPlace,
+    /// Use hierarchical clustering (reorders and clusters together).
+    Hierarchical,
+    /// Leave the matrix alone; no technique is predicted to pay off.
+    LeaveOriginal,
+}
+
+/// Structural profile driving the decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Degree skew: max row nnz over mean row nnz.
+    pub degree_skew: f64,
+    /// Bandwidth as a fraction of n.
+    pub relative_bandwidth: f64,
+    /// Mean Jaccard similarity of consecutive rows.
+    pub consecutive_jaccard: f64,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+}
+
+/// Computes the advisor's input profile from matrix statistics.
+pub fn profile(a: &CsrMatrix) -> Profile {
+    let s: MatrixStats = stats(a);
+    let mean = s.avg_row_nnz.max(1e-9);
+    Profile {
+        degree_skew: s.max_row_nnz as f64 / mean,
+        relative_bandwidth: if s.nrows == 0 {
+            0.0
+        } else {
+            s.bandwidth as f64 / s.nrows as f64
+        },
+        consecutive_jaccard: s.avg_consecutive_jaccard,
+        avg_row_nnz: s.avg_row_nnz,
+    }
+}
+
+/// Ranked suggestions (best first) for accelerating SpGEMM on `a`.
+pub fn advise(a: &CsrMatrix) -> Vec<Suggestion> {
+    let p = profile(a);
+    let mut out = Vec::with_capacity(4);
+
+    if p.consecutive_jaccard >= 0.5 {
+        // Rows are already grouped: clustering without reordering captures
+        // the structure; reordering risks destroying it (paper: shuffling a
+        // good order has GM 0.43).
+        out.push(Suggestion::ClusterInPlace);
+        out.push(Suggestion::LeaveOriginal);
+        return out;
+    }
+
+    if p.degree_skew >= 8.0 {
+        // Heavy-tailed graphs: hub-grouping orders; partitioners struggle
+        // (no small separators), meshes' RCM irrelevant.
+        out.push(Suggestion::Reorder(Reordering::Degree));
+        out.push(Suggestion::Reorder(Reordering::SlashBurn));
+        out.push(Suggestion::Hierarchical);
+        return out;
+    }
+
+    if p.avg_row_nnz <= 16.0 && p.relative_bandwidth > 0.25 {
+        // Bounded-degree, scattered numbering: the scrambled-mesh case
+        // where RCM/GP/HP win up to an order of magnitude (paper Fig. 9).
+        out.push(Suggestion::Reorder(Reordering::Rcm));
+        out.push(Suggestion::Reorder(Reordering::Gp(16)));
+        out.push(Suggestion::Hierarchical);
+        return out;
+    }
+
+    if p.relative_bandwidth <= 0.05 {
+        // Already banded: nothing to recover.
+        out.push(Suggestion::LeaveOriginal);
+        out.push(Suggestion::ClusterInPlace);
+        return out;
+    }
+
+    // Default: the paper's balanced recommendation.
+    out.push(Suggestion::Hierarchical);
+    out.push(Suggestion::Reorder(Reordering::Gp(16)));
+    out.push(Suggestion::LeaveOriginal);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen;
+
+    #[test]
+    fn grouped_rows_suggest_in_place_clustering() {
+        let a = gen::banded::block_diagonal(128, (6, 8), 0.0, 1);
+        assert_eq!(advise(&a)[0], Suggestion::ClusterInPlace);
+    }
+
+    #[test]
+    fn scrambled_mesh_suggests_rcm_family() {
+        let a = gen::mesh::tri_mesh(24, 24, true, 3);
+        let first = advise(&a)[0];
+        assert!(
+            matches!(first, Suggestion::Reorder(Reordering::Rcm | Reordering::Gp(_))),
+            "{first:?}"
+        );
+    }
+
+    #[test]
+    fn powerlaw_suggests_hub_orders() {
+        let a = gen::rmat::rmat(10, 8, gen::rmat::RmatParams::default(), 3);
+        let first = advise(&a)[0];
+        assert!(
+            matches!(
+                first,
+                Suggestion::Reorder(Reordering::Degree | Reordering::SlashBurn)
+            ),
+            "{first:?}"
+        );
+    }
+
+    #[test]
+    fn natural_band_suggests_leaving_alone() {
+        let a = gen::grid::poisson2d(64, 4); // bandwidth 64 of 256 rows... narrow band
+        let s = advise(&a);
+        assert!(
+            s.contains(&Suggestion::LeaveOriginal) || s.contains(&Suggestion::ClusterInPlace),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn advice_is_never_empty_and_deterministic() {
+        for (i, a) in [
+            gen::er::erdos_renyi(100, 5, 1),
+            gen::kkt::kkt(80, 20, 2, 3, 2),
+            gen::road::road(12, 12, 0.9, 4, 5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let s1 = advise(&a);
+            let s2 = advise(&a);
+            assert!(!s1.is_empty(), "case {i}");
+            assert_eq!(s1, s2, "case {i}");
+        }
+    }
+
+    #[test]
+    fn profile_fields_are_sane() {
+        let a = gen::grid::poisson2d(10, 10);
+        let p = profile(&a);
+        assert!(p.degree_skew >= 1.0);
+        assert!((0.0..=1.0).contains(&p.consecutive_jaccard));
+        assert!(p.avg_row_nnz > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Gray-code ordering (Zhao et al., ICCD 2020).
+//!
+//! Each row is summarized by a bitmask over column blocks; rows are sorted
+//! so that consecutive signatures follow the binary-reflected Gray sequence,
+//! meaning adjacent rows differ in as few blocks as possible. Following the
+//! paper, rows are first split into a *dense* and a *sparse* group (dense
+//! rows are ordered first) so that heavyweight rows don't interleave with
+//! light ones.
+
+use cw_sparse::{CsrMatrix, Permutation};
+
+/// Number of column blocks used for the signature (one bit each).
+const SIG_BITS: usize = 64;
+
+/// Decodes a binary-reflected Gray code to its rank in the Gray sequence.
+///
+/// Sorting masks by `gray_rank(mask)` lists them in Gray-code order, where
+/// consecutive entries differ by one bit.
+#[inline]
+pub fn gray_rank(gray: u64) -> u64 {
+    let mut b = gray;
+    let mut shift = 1;
+    while shift < 64 {
+        b ^= b >> shift;
+        shift <<= 1;
+    }
+    b
+}
+
+/// Bitmask signature of a row: bit `k` set iff the row has a nonzero in
+/// column block `k` (blocks partition `0..ncols` evenly into [`SIG_BITS`]).
+fn signature(a: &CsrMatrix, row: usize) -> u64 {
+    let ncols = a.ncols.max(1);
+    let mut sig = 0u64;
+    for &c in a.row_cols(row) {
+        let block = (c as usize * SIG_BITS) / ncols;
+        sig |= 1u64 << block.min(SIG_BITS - 1);
+    }
+    sig
+}
+
+/// Computes the Gray-code row ordering.
+pub fn gray_order(a: &CsrMatrix) -> Permutation {
+    let n = a.nrows;
+    // Dense/sparse split at 4x the mean row density (paper: "splitting
+    // sparse and dense rows").
+    let avg = if n == 0 { 0.0 } else { a.nnz() as f64 / n as f64 };
+    let dense_threshold = (4.0 * avg).max(1.0) as usize;
+    let mut keyed: Vec<(bool, u64, u32)> = (0..n)
+        .map(|i| {
+            let is_sparse = a.row_nnz(i) <= dense_threshold;
+            (is_sparse, gray_rank(signature(a, i)), i as u32)
+        })
+        .collect();
+    // Dense group (is_sparse = false) first, each group in Gray order.
+    keyed.sort_unstable();
+    let order: Vec<u32> = keyed.into_iter().map(|(_, _, i)| i).collect();
+    Permutation::from_new_to_old(order).expect("gray ordering produced a non-permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen::banded::grouped_rows;
+    use cw_sparse::stats::avg_consecutive_jaccard;
+
+    #[test]
+    fn gray_rank_inverts_gray_code() {
+        // Gray sequence of rank r is r ^ (r >> 1); decoding must invert it.
+        for r in 0..256u64 {
+            let gray = r ^ (r >> 1);
+            assert_eq!(gray_rank(gray), r);
+        }
+    }
+
+    #[test]
+    fn identical_rows_stay_adjacent() {
+        // Rows alternate between two patterns; Gray ordering groups them.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                rows.push(vec![(0usize, 1.0), (1, 1.0)]);
+            } else {
+                rows.push(vec![(18usize, 1.0), (19, 1.0)]);
+            }
+        }
+        let a = CsrMatrix::from_row_lists(20, rows);
+        let p = gray_order(&a);
+        let b = p.permute_rows(&a);
+        // After ordering, consecutive-row similarity should be near 1
+        // (only one boundary between the two groups).
+        assert!(avg_consecutive_jaccard(&b) > 0.9);
+    }
+
+    #[test]
+    fn dense_rows_come_first() {
+        let mut rows = vec![vec![(0usize, 1.0)]; 12];
+        // One very dense row at the end.
+        rows.push((0..40usize).map(|c| (c, 1.0)).collect());
+        let a = CsrMatrix::from_row_lists(40, rows);
+        let p = gray_order(&a);
+        assert_eq!(p.old_of(0), 12, "dense row should be ordered first");
+    }
+
+    #[test]
+    fn gray_improves_similarity_on_shuffled_groups() {
+        let a = grouped_rows(64, 4, 6, 3);
+        let shuffled = crate::random_permutation(64, 1).permute_rows(&a);
+        let before = avg_consecutive_jaccard(&shuffled);
+        let p = gray_order(&shuffled);
+        let after = avg_consecutive_jaccard(&p.permute_rows(&shuffled));
+        assert!(after > before, "consecutive jaccard {before} -> {after}");
+    }
+
+    #[test]
+    fn gray_deterministic_and_valid() {
+        let a = grouped_rows(50, 5, 4, 8);
+        let p1 = gray_order(&a);
+        let p2 = gray_order(&a);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 50);
+    }
+}

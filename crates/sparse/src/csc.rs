@@ -1,0 +1,101 @@
+//! Compressed Sparse Column storage.
+//!
+//! CSC is CSR of the transpose. It is used where column-wise access is the
+//! natural direction: building hypergraph column nets (HP reordering) and
+//! computing per-column statistics without materializing `Aᵀ` separately.
+
+use crate::{ColIdx, CsrMatrix, Value};
+
+/// A sparse matrix in CSC form with sorted columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Column offsets; `col_ptr.len() == ncols + 1`.
+    pub col_ptr: Vec<usize>,
+    /// Row indices, strictly increasing within each column.
+    pub row_idx: Vec<ColIdx>,
+    /// Nonzero values, parallel to `row_idx`.
+    pub vals: Vec<Value>,
+}
+
+impl CscMatrix {
+    /// Builds CSC from a CSR matrix (one counting-sort pass).
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let t = a.transpose();
+        CscMatrix {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            col_ptr: t.row_ptr,
+            row_idx: t.col_idx,
+            vals: t.vals,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[ColIdx] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_vals(&self, j: usize) -> &[Value] {
+        &self.vals[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Number of nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let as_csr = CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: self.col_ptr.clone(),
+            col_idx: self.row_idx.clone(),
+            vals: self.vals.clone(),
+        };
+        as_csr.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let a = CsrMatrix::from_row_lists(
+            4,
+            vec![vec![(0, 1.0), (3, 2.0)], vec![(1, 3.0)], vec![], vec![(0, 4.0), (2, 5.0)]],
+        );
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), a.nnz());
+        assert_eq!(c.col_rows(0), &[0, 3]);
+        assert_eq!(c.col_vals(0), &[1.0, 4.0]);
+        assert_eq!(c.col_nnz(2), 1);
+        let back = c.to_csr();
+        assert!(a.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn empty_columns_are_empty() {
+        let a = CsrMatrix::zeros(3, 5);
+        let c = CscMatrix::from_csr(&a);
+        for j in 0..5 {
+            assert!(c.col_rows(j).is_empty());
+        }
+    }
+}

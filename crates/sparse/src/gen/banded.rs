@@ -1,0 +1,158 @@
+//! Banded and block-diagonal matrices — the chemistry / LP / circuit family
+//! (cage12, pdb1HYS, rma10 analogues). These have the "dense diagonal block"
+//! structure the paper calls out as the natural fit for fixed-length
+//! clustering (§3.2).
+
+use crate::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random banded matrix: each entry within `bandwidth` of the diagonal is
+/// present with probability `fill`, the diagonal always present.
+pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (2 * bandwidth + 1));
+    for i in 0..n {
+        let lo = i.saturating_sub(bandwidth);
+        let hi = (i + bandwidth + 1).min(n);
+        for j in lo..hi {
+            if i == j {
+                coo.push(i, j, rng.gen_range(2.0..4.0));
+            } else if rng.gen_bool(fill) {
+                coo.push(i, j, rng.gen_range(-1.0..-0.1));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Block-diagonal matrix with dense square blocks whose sizes are drawn
+/// uniformly from `block_range`, plus sparse random "bridge" entries between
+/// adjacent blocks with probability `bridge`.
+///
+/// With `bridge = 0` consecutive rows inside a block share an identical
+/// column pattern — the ideal case for CSR_Cluster (Jaccard 1.0 inside
+/// blocks, 0.0 across).
+pub fn block_diagonal(
+    n: usize,
+    block_range: (usize, usize),
+    bridge: f64,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(block_range.0 >= 1 && block_range.0 <= block_range.1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * block_range.1);
+    let mut start = 0usize;
+    let mut prev_block: Option<(usize, usize)> = None;
+    while start < n {
+        let sz = rng.gen_range(block_range.0..=block_range.1).min(n - start);
+        for i in start..start + sz {
+            for j in start..start + sz {
+                let v = if i == j { rng.gen_range(2.0..4.0) } else { rng.gen_range(0.1..1.0) };
+                coo.push(i, j, v);
+            }
+        }
+        if let Some((ps, pe)) = prev_block {
+            if bridge > 0.0 {
+                for i in start..start + sz {
+                    for j in ps..pe {
+                        if rng.gen_bool(bridge) {
+                            let v = rng.gen_range(0.05..0.2);
+                            coo.push(i, j, v);
+                            coo.push(j, i, v);
+                        }
+                    }
+                }
+            }
+        }
+        prev_block = Some((start, start + sz));
+        start += sz;
+    }
+    coo.to_csr()
+}
+
+/// "Shifted-pattern" banded matrix: groups of `group` consecutive rows share
+/// the same column set; the set shifts by `group` between groups. Mimics
+/// matrices whose rows repeat in bursts (supernodal structure) without being
+/// block-diagonal.
+pub fn grouped_rows(n: usize, group: usize, row_nnz: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * row_nnz);
+    let mut g_start = 0usize;
+    while g_start < n {
+        let g_end = (g_start + group).min(n);
+        // One shared column set for the whole group, around the diagonal.
+        let mut cols = Vec::with_capacity(row_nnz);
+        for _ in 0..row_nnz {
+            let span = (4 * row_nnz).max(8);
+            let off = rng.gen_range(0..span) as i64 - span as i64 / 2;
+            let j = (g_start as i64 + off).clamp(0, n as i64 - 1) as usize;
+            cols.push(j);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        for i in g_start..g_end {
+            for &j in &cols {
+                coo.push(i, j, rng.gen_range(0.5..1.5));
+            }
+        }
+        g_start = g_end;
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{avg_consecutive_jaccard, bandwidth};
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let a = banded(50, 3, 0.8, 1);
+        assert!(bandwidth(&a) <= 3);
+        // Diagonal always present.
+        for i in 0..50 {
+            assert!(a.get(i, i).is_some());
+        }
+    }
+
+    #[test]
+    fn block_diagonal_rows_in_block_are_identical() {
+        let a = block_diagonal(64, (4, 4), 0.0, 9);
+        // Within each 4-row block, consecutive rows share columns exactly.
+        let j = avg_consecutive_jaccard(&a);
+        // 3 of every 4 consecutive pairs are identical => J >= 0.75 - eps.
+        assert!(j >= 0.74, "avg consecutive jaccard = {j}");
+    }
+
+    #[test]
+    fn block_diagonal_with_bridges_connects_blocks() {
+        let a = block_diagonal(64, (4, 8), 0.5, 10);
+        a.validate().unwrap();
+        // At least one entry off the block diagonal must exist.
+        let base = block_diagonal(64, (4, 8), 0.0, 10);
+        assert!(a.nnz() > base.nnz());
+    }
+
+    #[test]
+    fn grouped_rows_share_patterns() {
+        let a = grouped_rows(60, 5, 6, 3);
+        a.validate().unwrap();
+        assert!(avg_consecutive_jaccard(&a) > 0.7);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert!(banded(30, 2, 0.5, 7).approx_eq(&banded(30, 2, 0.5, 7), 0.0));
+        assert!(block_diagonal(30, (2, 5), 0.1, 7)
+            .approx_eq(&block_diagonal(30, (2, 5), 0.1, 7), 0.0));
+        assert!(grouped_rows(30, 3, 4, 7).approx_eq(&grouped_rows(30, 3, 4, 7), 0.0));
+    }
+
+    #[test]
+    fn block_sizes_clamped_at_matrix_end() {
+        let a = block_diagonal(10, (7, 7), 0.0, 2);
+        assert_eq!(a.nrows, 10);
+        a.validate().unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Erdős–Rényi uniform random sparse matrices — the unstructured baseline
+//! where no reordering should help much.
+
+use crate::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random square sparse matrix with expected `avg_nnz_per_row`
+/// nonzeros per row plus a guaranteed diagonal.
+pub fn erdos_renyi(n: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (avg_nnz_per_row + 1));
+    for i in 0..n {
+        coo.push(i, i, rng.gen_range(2.0..3.0));
+        for _ in 0..avg_nnz_per_row {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                coo.push(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Uniform random rectangular sparse matrix (general `m × n`), used for
+/// tall-skinny operands in tests.
+pub fn erdos_renyi_rect(nrows: usize, ncols: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nrows * avg_nnz_per_row);
+    for i in 0..nrows {
+        for _ in 0..avg_nnz_per_row {
+            let j = rng.gen_range(0..ncols);
+            coo.push(i, j, rng.gen_range(0.5..1.5));
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_has_expected_density() {
+        let a = erdos_renyi(200, 8, 1);
+        let avg = a.nnz() as f64 / 200.0;
+        // Duplicates collapse, so between ~7 and 9 plus diagonal.
+        assert!((6.0..10.0).contains(&avg), "avg nnz/row {avg}");
+        for i in 0..200 {
+            assert!(a.get(i, i).is_some());
+        }
+    }
+
+    #[test]
+    fn er_rect_shape() {
+        let b = erdos_renyi_rect(100, 16, 3, 2);
+        assert_eq!(b.nrows, 100);
+        assert_eq!(b.ncols, 16);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn er_deterministic() {
+        assert!(erdos_renyi(50, 4, 9).approx_eq(&erdos_renyi(50, 4, 9), 0.0));
+    }
+}

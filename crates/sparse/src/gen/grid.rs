@@ -1,0 +1,228 @@
+//! Regular stencil matrices on 2D/3D/4D grids — the PDE-mesh family
+//! (poisson3Da, conf5_4-8x8-05 analogues).
+
+use crate::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// 2D 5-point Poisson stencil on an `nx × ny` grid (`n = nx·ny` rows).
+///
+/// Classic discrete Laplacian: 4 on the diagonal, −1 for the N/S/E/W
+/// neighbors. Natural row-major ordering gives bandwidth `nx`.
+pub fn poisson2d(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0);
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), -1.0);
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), -1.0);
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), -1.0);
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D 9-point stencil (adds the four diagonal neighbors).
+pub fn stencil9(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 9 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                        continue;
+                    }
+                    let j = idx(xx as usize, yy as usize);
+                    coo.push(i, j, if i == j { 8.0 } else { -1.0 });
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D 7-point Poisson stencil on an `nx × ny × nz` grid.
+pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0);
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), -1.0);
+                }
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), -1.0);
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), -1.0);
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), -1.0);
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 4D periodic (torus) nearest-neighbor stencil — the lattice-QCD structure
+/// of `conf5_4-8x8-05`-style matrices: every site couples to 8 neighbors
+/// (±1 in each of 4 dimensions) with periodic wrap-around.
+pub fn grid4d(dim: usize) -> CsrMatrix {
+    let n = dim * dim * dim * dim;
+    let mut coo = CooMatrix::with_capacity(n, n, 9 * n);
+    let idx = |c: [usize; 4]| ((c[3] * dim + c[2]) * dim + c[1]) * dim + c[0];
+    let mut c = [0usize; 4];
+    for t in 0..dim {
+        for z in 0..dim {
+            for y in 0..dim {
+                for x in 0..dim {
+                    c[0] = x;
+                    c[1] = y;
+                    c[2] = z;
+                    c[3] = t;
+                    let i = idx(c);
+                    coo.push(i, i, 8.0);
+                    for d in 0..4 {
+                        let mut up = c;
+                        up[d] = (c[d] + 1) % dim;
+                        let mut dn = c;
+                        dn[d] = (c[d] + dim - 1) % dim;
+                        coo.push(i, idx(up), -1.0);
+                        coo.push(i, idx(dn), -1.0);
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Anisotropic 2D stencil with randomly varying coefficients — a stand-in
+/// for variable-coefficient FEM matrices (`rma10`-like) that still has mesh
+/// locality but non-constant values and slightly irregular pattern (a random
+/// 5% of off-diagonal couplings are dropped).
+pub fn anisotropic2d(nx: usize, ny: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, rng.gen_range(3.0..5.0));
+            let maybe = |j: usize, rng: &mut SmallRng, coo: &mut CooMatrix| {
+                if rng.gen_bool(0.95) {
+                    coo.push(i, j, -rng.gen_range(0.5..1.5));
+                }
+            };
+            if x > 0 {
+                maybe(idx(x - 1, y), &mut rng, &mut coo);
+            }
+            if x + 1 < nx {
+                maybe(idx(x + 1, y), &mut rng, &mut coo);
+            }
+            if y > 0 {
+                maybe(idx(x, y - 1), &mut rng, &mut coo);
+            }
+            if y + 1 < ny {
+                maybe(idx(x, y + 1), &mut rng, &mut coo);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::bandwidth;
+
+    #[test]
+    fn poisson2d_structure() {
+        let a = poisson2d(4, 3);
+        assert_eq!(a.nrows, 12);
+        assert!(a.is_pattern_symmetric());
+        assert_eq!(bandwidth(&a), 4);
+        // Interior node has 5 nonzeros, corner has 3.
+        assert_eq!(a.row_nnz(0), 3);
+        assert_eq!(a.row_nnz(5), 5);
+        // Row sums of the Laplacian are >= 0 (boundary rows positive).
+        for i in 0..a.nrows {
+            let s: f64 = a.row_vals(i).iter().sum();
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson3d_structure() {
+        let a = poisson3d(3, 3, 3);
+        assert_eq!(a.nrows, 27);
+        assert!(a.is_pattern_symmetric());
+        // Center node (1,1,1) has all 6 neighbors.
+        assert_eq!(a.row_nnz(13), 7);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn stencil9_interior_has_nine() {
+        let a = stencil9(5, 5);
+        assert_eq!(a.row_nnz(12), 9);
+        assert!(a.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn grid4d_every_row_has_nine() {
+        let a = grid4d(3);
+        assert_eq!(a.nrows, 81);
+        for i in 0..a.nrows {
+            assert_eq!(a.row_nnz(i), 9, "row {i}");
+        }
+        assert!(a.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn grid4d_dim2_wraps_collapse() {
+        // dim=2: +1 and -1 neighbors coincide; duplicates are summed.
+        let a = grid4d(2);
+        assert_eq!(a.nrows, 16);
+        for i in 0..a.nrows {
+            assert_eq!(a.row_nnz(i), 5, "row {i}");
+        }
+    }
+
+    #[test]
+    fn anisotropic_is_deterministic() {
+        let a = anisotropic2d(10, 10, 5);
+        let b = anisotropic2d(10, 10, 5);
+        assert!(a.approx_eq(&b, 0.0));
+        let c = anisotropic2d(10, 10, 6);
+        assert_ne!(a.nnz().min(c.nnz()), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! KKT / saddle-point structured matrices (`kkt_power` analogue):
+//! `[[H, Gᵀ], [G, 0]]` where `H` is a sparse SPD-like block and `G` a sparse
+//! constraint Jacobian. The zero (2,2) block and the bipartite-ish coupling
+//! make these matrices behave very differently from PDE meshes under
+//! reordering.
+
+use crate::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an `(nv + nc) × (nv + nc)` KKT-structured matrix with `nv` primal
+/// variables and `nc` constraints. `h_band` controls the bandwidth of `H`,
+/// `g_nnz_per_row` the sparsity of `G`.
+pub fn kkt(nv: usize, nc: usize, h_band: usize, g_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nv + nc;
+    let mut coo = CooMatrix::with_capacity(n, n, nv * (2 * h_band + 1) + 2 * nc * g_nnz_per_row);
+    // H block: banded SPD-ish.
+    for i in 0..nv {
+        coo.push(i, i, rng.gen_range(3.0..5.0));
+        let lo = i.saturating_sub(h_band);
+        let hi = (i + h_band + 1).min(nv);
+        for j in lo..hi {
+            if j != i && rng.gen_bool(0.7) {
+                let v = rng.gen_range(-0.8..-0.1);
+                coo.push(i, j, v);
+            }
+        }
+    }
+    // G / G^T coupling blocks.
+    for c in 0..nc {
+        let row = nv + c;
+        for _ in 0..g_nnz_per_row {
+            let v_col = rng.gen_range(0..nv);
+            let w = rng.gen_range(0.5..1.5);
+            coo.push(row, v_col, w);
+            coo.push(v_col, row, w);
+        }
+        // Small regularization on the (2,2) diagonal keeps rows non-empty.
+        coo.push(row, row, 1e-8);
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kkt_has_saddle_structure() {
+        let a = kkt(80, 20, 2, 3, 6);
+        assert_eq!(a.nrows, 100);
+        a.validate().unwrap();
+        // The (2,2) block is (near) empty: constraint rows only reach
+        // variables plus their own tiny diagonal.
+        for c in 0..20 {
+            let row = 80 + c;
+            for &j in a.row_cols(row) {
+                let j = j as usize;
+                assert!(j < 80 || j == row, "row {row} has entry in (2,2) block at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn kkt_coupling_is_symmetric_in_pattern() {
+        let a = kkt(40, 10, 1, 2, 3);
+        for c in 0..10 {
+            let row = 40 + c;
+            for &j in a.row_cols(row) {
+                let j = j as usize;
+                if j != row {
+                    assert!(a.get(j, row).is_some(), "missing transpose of ({row},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kkt_deterministic() {
+        assert!(kkt(30, 10, 2, 2, 5).approx_eq(&kkt(30, 10, 2, 2, 5), 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Triangulated 2D surface meshes (AS365 / M6 / NLR / hugetric analogues).
+//!
+//! These DIMACS10 matrices are adjacency structures of large planar
+//! triangulations: degree ~6, symmetric, huge diameter, and — crucially for
+//! the paper — often distributed in an ordering that interleaves distant
+//! mesh regions, which is why RCM/GP/HP reorderings win big on them
+//! (paper Fig. 9: 8–11× on AS365/M6/NLR).
+
+use super::from_undirected_edges;
+use crate::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Triangulated `nx × ny` sheet: lattice edges plus one diagonal per cell,
+/// giving interior degree 6 (a structured triangulation).
+///
+/// `scramble` controls the vertex numbering:
+/// * `false` — natural row-major order (good locality, like a freshly
+///   generated mesh);
+/// * `true` — random labels (the state real DIMACS10 files arrive in and the
+///   case where reordering recovers up to an order of magnitude).
+pub fn tri_mesh(nx: usize, ny: usize, scramble: bool, seed: u64) -> CsrMatrix {
+    let n = nx * ny;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    if scramble {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            label.swap(i, j);
+        }
+    }
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut edges = Vec::with_capacity(3 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((label[idx(x, y)], label[idx(x + 1, y)]));
+            }
+            if y + 1 < ny {
+                edges.push((label[idx(x, y)], label[idx(x, y + 1)]));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                // Consistent diagonal direction = proper triangulation with
+                // interior degree exactly 6.
+                edges.push((label[idx(x, y)], label[idx(x + 1, y + 1)]));
+            }
+        }
+    }
+    from_undirected_edges(n, &edges, false, seed ^ 0x5ca1_ab1e)
+}
+
+/// A "multi-patch" mesh: `patches` independent triangulated sheets stitched
+/// along thin seams, then globally scrambled. Mimics aerodynamic surface
+/// meshes (AS365 is a helicopter surface) built from panels.
+pub fn patched_mesh(patch_nx: usize, patch_ny: usize, patches: usize, seed: u64) -> CsrMatrix {
+    let per = patch_nx * patch_ny;
+    let n = per * patches;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        label.swap(i, j);
+    }
+    let idx = |p: usize, x: usize, y: usize| p * per + y * patch_nx + x;
+    let mut edges = Vec::with_capacity(3 * n);
+    for p in 0..patches {
+        for y in 0..patch_ny {
+            for x in 0..patch_nx {
+                if x + 1 < patch_nx {
+                    edges.push((label[idx(p, x, y)], label[idx(p, x + 1, y)]));
+                }
+                if y + 1 < patch_ny {
+                    edges.push((label[idx(p, x, y)], label[idx(p, x, y + 1)]));
+                }
+                if x + 1 < patch_nx && y + 1 < patch_ny {
+                    edges.push((label[idx(p, x, y)], label[idx(p, x + 1, y + 1)]));
+                }
+            }
+        }
+        // Stitch this patch's right edge to the next patch's left edge.
+        if p + 1 < patches {
+            for y in 0..patch_ny {
+                edges.push((label[idx(p, patch_nx - 1, y)], label[idx(p + 1, 0, y)]));
+            }
+        }
+    }
+    from_undirected_edges(n, &edges, false, seed ^ 0x0ddb_a11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::bandwidth;
+
+    #[test]
+    fn tri_mesh_natural_has_degree_six_interior() {
+        let a = tri_mesh(8, 8, false, 1);
+        assert_eq!(a.nrows, 64);
+        assert!(a.is_pattern_symmetric());
+        let max_deg = (0..a.nrows).map(|i| a.row_nnz(i)).max().unwrap();
+        assert!(max_deg <= 7, "triangulation degree {max_deg}");
+        // Natural order keeps bandwidth ~nx+1.
+        assert!(bandwidth(&a) <= 9);
+    }
+
+    #[test]
+    fn scrambled_mesh_has_large_bandwidth() {
+        let a = tri_mesh(12, 12, true, 2);
+        assert!(bandwidth(&a) > 24, "bandwidth {}", bandwidth(&a));
+        assert!(a.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn patched_mesh_is_connected_enough() {
+        let a = patched_mesh(6, 6, 3, 3);
+        assert_eq!(a.nrows, 108);
+        assert!(a.is_pattern_symmetric());
+        // BFS from 0 reaches everything (patches are stitched).
+        let mut seen = vec![false; a.nrows];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in a.row_cols(u) {
+                let v = v as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert_eq!(count, a.nrows);
+    }
+
+    #[test]
+    fn meshes_deterministic() {
+        assert!(tri_mesh(5, 5, true, 7).approx_eq(&tri_mesh(5, 5, true, 7), 0.0));
+        assert!(patched_mesh(4, 4, 2, 7).approx_eq(&patched_mesh(4, 4, 2, 7), 0.0));
+    }
+}

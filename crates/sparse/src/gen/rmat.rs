@@ -1,0 +1,115 @@
+//! R-MAT (recursive matrix) power-law graph generator — the scale-free
+//! social/web-graph family (LiveJournal, wikipedia, webbase analogues).
+
+use super::from_undirected_edges;
+use crate::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. Classic Graph500 values are
+/// `(0.57, 0.19, 0.19, 0.05)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// top-left quadrant probability
+    pub a: f64,
+    /// top-right quadrant probability
+    pub b: f64,
+    /// bottom-left quadrant probability
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and roughly
+/// `edge_factor · 2^scale` distinct edges, returned as a symmetric CSR
+/// adjacency matrix with random values and no diagonal.
+///
+/// Duplicate edges produced by the recursion are merged by CSR conversion
+/// (values summed), mirroring how multigraph edges collapse in practice.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrMatrix {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_r, mut hi_r) = (0usize, n);
+        let (mut lo_c, mut hi_c) = (0usize, n);
+        while hi_r - lo_r > 1 {
+            let p: f64 = rng.gen();
+            let (down, right) = if p < params.a {
+                (false, false)
+            } else if p < params.a + params.b {
+                (false, true)
+            } else if p < params.a + params.b + params.c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if down {
+                lo_r = mid_r;
+            } else {
+                hi_r = mid_r;
+            }
+            if right {
+                lo_c = mid_c;
+            } else {
+                hi_c = mid_c;
+            }
+        }
+        if lo_r != lo_c {
+            edges.push((lo_r as u32, lo_c as u32));
+        }
+    }
+    from_undirected_edges(n, &edges, true, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Degree-skew check helper: ratio of the max degree to the mean degree.
+pub fn degree_skew(a: &CsrMatrix) -> f64 {
+    let mean = a.nnz() as f64 / a.nrows as f64;
+    let max = (0..a.nrows).map(|i| a.row_nnz(i)).max().unwrap_or(0) as f64;
+    max / mean.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_symmetric_and_deterministic() {
+        let a = rmat(8, 8, RmatParams::default(), 11);
+        assert_eq!(a.nrows, 256);
+        assert!(a.is_pattern_symmetric());
+        let b = rmat(8, 8, RmatParams::default(), 11);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn rmat_has_heavy_tail() {
+        let a = rmat(10, 8, RmatParams::default(), 3);
+        // Power-law: max degree should far exceed the mean.
+        assert!(degree_skew(&a) > 4.0, "skew = {}", degree_skew(&a));
+    }
+
+    #[test]
+    fn uniform_params_make_er_like_graph() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25 };
+        let a = rmat(9, 8, p, 3);
+        // Near-uniform quadrants give low skew compared to default R-MAT.
+        assert!(degree_skew(&a) < 4.0, "skew = {}", degree_skew(&a));
+    }
+
+    #[test]
+    fn no_self_loops_off_diagonal_only_plus_unit_diag() {
+        let a = rmat(6, 4, RmatParams::default(), 5);
+        // Diagonal was explicitly added once per row by the generator.
+        for i in 0..a.nrows {
+            assert!(a.get(i, i).is_some());
+        }
+    }
+}

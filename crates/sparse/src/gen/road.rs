@@ -1,0 +1,83 @@
+//! Road-network-like graphs (europe_osm, GAP-road analogues): degree ≤ 4-ish,
+//! near-planar, very large diameter, weak clustering.
+
+use super::from_undirected_edges;
+use crate::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a road-like network on an `nx × ny` lattice:
+///
+/// * every lattice edge is kept with probability `keep` (creating dead ends
+///   and irregular blocks, like a street grid with missing segments),
+/// * a small number of "highway" shortcuts (`shortcuts` per 1000 nodes)
+///   connect random nearby-but-not-adjacent intersections.
+///
+/// The vertex numbering is randomly shuffled, destroying the natural
+/// grid locality exactly the way OSM exports do (node ids carry no spatial
+/// meaning) — this is what gives reordering algorithms room to win.
+pub fn road(nx: usize, ny: usize, keep: f64, shortcuts_per_k: usize, seed: u64) -> CsrMatrix {
+    let n = nx * ny;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Random relabeling old-grid-id -> vertex-id.
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        label.swap(i, j);
+    }
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx && rng.gen_bool(keep) {
+                edges.push((label[idx(x, y)], label[idx(x + 1, y)]));
+            }
+            if y + 1 < ny && rng.gen_bool(keep) {
+                edges.push((label[idx(x, y)], label[idx(x, y + 1)]));
+            }
+        }
+    }
+    let n_short = n * shortcuts_per_k / 1000;
+    for _ in 0..n_short {
+        let x = rng.gen_range(0..nx);
+        let y = rng.gen_range(0..ny);
+        let dx = rng.gen_range(2..6.min(nx.max(3)));
+        let dy = rng.gen_range(0..3.min(ny.max(1)));
+        let x2 = (x + dx).min(nx - 1);
+        let y2 = (y + dy).min(ny - 1);
+        if (x, y) != (x2, y2) {
+            edges.push((label[idx(x, y)], label[idx(x2, y2)]));
+        }
+    }
+    from_undirected_edges(n, &edges, true, seed ^ 0xdead_beef)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_is_symmetric_low_degree() {
+        let a = road(20, 20, 0.9, 5, 4);
+        assert_eq!(a.nrows, 400);
+        assert!(a.is_pattern_symmetric());
+        let max_deg = (0..a.nrows).map(|i| a.row_nnz(i)).max().unwrap();
+        assert!(max_deg <= 10, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn road_labels_are_shuffled() {
+        // With shuffled labels, bandwidth should be large (near n), unlike a
+        // natural grid where it equals nx.
+        let a = road(16, 16, 1.0, 0, 8);
+        let bw = crate::stats::bandwidth(&a);
+        assert!(bw > 64, "bandwidth {bw} suggests labels were not shuffled");
+    }
+
+    #[test]
+    fn road_deterministic() {
+        let a = road(10, 10, 0.8, 10, 3);
+        let b = road(10, 10, 0.8, 10, 3);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

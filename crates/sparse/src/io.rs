@@ -1,0 +1,230 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate {real,integer,pattern} {general,symmetric,
+//! skew-symmetric}` subset, which covers the SuiteSparse matrices the paper
+//! evaluates. Symmetric inputs are expanded to general storage on read (both
+//! triangles materialized), matching what the SpGEMM kernels expect.
+
+use crate::{CooMatrix, CsrMatrix, SparseError};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market file from a path.
+pub fn read_matrix_market_path(path: &Path) -> Result<CsrMatrix, SparseError> {
+    let f = std::fs::File::open(path)
+        .map_err(|e| SparseError::Parse(format!("open {}: {e}", path.display())))?;
+    read_matrix_market(std::io::BufReader::new(f))
+}
+
+/// Reads a Matrix Market stream.
+pub fn read_matrix_market<R: BufRead>(mut reader: R) -> Result<CsrMatrix, SparseError> {
+    let mut line = String::new();
+    // --- header ---
+    if reader.read_line(&mut line).map_err(|e| SparseError::Parse(e.to_string()))? == 0 {
+        return Err(SparseError::Parse("empty file".into()));
+    }
+    let header = line.trim().to_ascii_lowercase();
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header: {header}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse(format!("only coordinate supported, got {}", toks[2])));
+    }
+    let field = match toks[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(SparseError::Parse(format!("unsupported field: {other}"))),
+    };
+    let symmetry = match toks[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry: {other}"))),
+    };
+    // --- size line (skipping comments) ---
+    let (nrows, ncols, nnz) = loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(|e| SparseError::Parse(e.to_string()))? == 0 {
+            return Err(SparseError::Parse("missing size line".into()));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let nr: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad size line: {t}")))?;
+        let nc: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad size line: {t}")))?;
+        let nz: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad size line: {t}")))?;
+        break (nr, nc, nz);
+    };
+    let cap = if symmetry == Symmetry::General { nnz } else { nnz * 2 };
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
+    let mut seen = 0usize;
+    while seen < nnz {
+        line.clear();
+        if reader.read_line(&mut line).map_err(|e| SparseError::Parse(e.to_string()))? == 0 {
+            return Err(SparseError::Parse(format!("expected {nnz} entries, got {seen}")));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad entry: {t}")))?;
+        let j: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad entry: {t}")))?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(SparseError::Parse(format!("1-based entry out of range: {t}")));
+        }
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            _ => it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Parse(format!("missing value: {t}")))?,
+        };
+        let (r, c) = (i - 1, j - 1);
+        coo.push(r, c, v);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    coo.push(c, r, v);
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    coo.push(c, r, -v);
+                }
+            }
+        }
+        seen += 1;
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a matrix in `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(a: &CsrMatrix, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by clusterwise-spgemm")?;
+    writeln!(w, "{} {} {}", a.nrows, a.ncols, a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    w.flush()
+}
+
+/// Writes a matrix to a path in Matrix Market format.
+pub fn write_matrix_market_path(a: &CsrMatrix, path: &Path) -> std::io::Result<()> {
+    write_matrix_market(a, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 3\n1 1 2.0\n2 3 -1.5\n3 1 4.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nrows, 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), Some(2.0));
+        assert_eq!(m.get(1, 2), Some(-1.5));
+        assert_eq!(m.get(2, 0), Some(4.0));
+    }
+
+    #[test]
+    fn read_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 2 6.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert!(m.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn read_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn read_pattern_sets_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn round_trip() {
+        let a = CsrMatrix::from_row_lists(
+            4,
+            vec![vec![(0, 1.25), (3, -2.5)], vec![], vec![(2, 1e-10)], vec![(1, 7.0)]],
+        );
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "%%NotMatrixMarket foo\n1 1 0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+}

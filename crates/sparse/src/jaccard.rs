@@ -1,0 +1,108 @@
+//! Jaccard set similarity on sorted index slices (paper §3.2).
+//!
+//! Both variable-length clustering (Alg. 2) and hierarchical clustering
+//! (Alg. 3) score row similarity with the Jaccard coefficient
+//! `|X ∩ Y| / |X ∪ Y|` over the rows' column-index sets.
+
+use crate::ColIdx;
+
+/// Size of the intersection of two strictly-sorted slices (merge scan).
+#[inline]
+pub fn intersection_size(a: &[ColIdx], b: &[ColIdx]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i += 1;
+        } else if y < x {
+            j += 1;
+        } else {
+            n += 1;
+            i += 1;
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Jaccard similarity of two strictly-sorted slices.
+///
+/// Two empty sets have similarity `1.0` (they are identical); one empty and
+/// one non-empty set have similarity `0.0`.
+#[inline]
+pub fn jaccard(a: &[ColIdx], b: &[ColIdx]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity computed from an intersection (overlap) count and the
+/// two set sizes — the conversion used on `A·Aᵀ` outputs in Alg. 3, where the
+/// value at `(i, j)` of the pattern product counts overlapping nonzeros.
+#[inline]
+pub fn jaccard_from_overlap(overlap: usize, len_a: usize, len_b: usize) -> f64 {
+    let union = len_a + len_b - overlap;
+    if union == 0 {
+        1.0
+    } else {
+        overlap as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_examples() {
+        // Paper §3.2 walk-through: rows 0..5 of Fig. 5(b)-style matrix where
+        // row1/row0 and row2/row0 have similarity 0.5, row3/row0 has 0.0.
+        let r0: Vec<ColIdx> = vec![0, 1, 2];
+        let r1: Vec<ColIdx> = vec![1, 2, 5];
+        assert_eq!(jaccard(&r0, &r1), 0.5);
+        let r3: Vec<ColIdx> = vec![3, 4, 5];
+        assert_eq!(jaccard(&r0, &r3), 0.0);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let a: Vec<ColIdx> = vec![1, 4, 9];
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e: Vec<ColIdx> = vec![];
+        let a: Vec<ColIdx> = vec![3];
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &a), 0.0);
+        assert_eq!(jaccard(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn overlap_conversion_matches_direct() {
+        let a: Vec<ColIdx> = vec![0, 2, 4, 6];
+        let b: Vec<ColIdx> = vec![2, 4, 8];
+        let inter = intersection_size(&a, &b);
+        assert_eq!(inter, 2);
+        assert_eq!(jaccard(&a, &b), jaccard_from_overlap(inter, a.len(), b.len()));
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a: Vec<ColIdx> = vec![0, 1];
+        let b: Vec<ColIdx> = vec![2, 3];
+        assert_eq!(intersection_size(&a, &b), 0);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn subset_similarity() {
+        let a: Vec<ColIdx> = vec![1, 2, 3, 4];
+        let b: Vec<ColIdx> = vec![2, 3];
+        assert_eq!(jaccard(&a, &b), 0.5);
+    }
+}

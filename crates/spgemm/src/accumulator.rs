@@ -1,0 +1,427 @@
+//! Sparse accumulators for Gustavson-style SpGEMM.
+//!
+//! A sparse accumulator collects the intermediate products of one output row
+//! (`accumulate` in paper Fig. 1) and emits the compressed, sorted result
+//! (`copy`). The paper uses a hash-table accumulator following Nagasaka et
+//! al. \[40\]; a dense SPA and a sort-merge accumulator are provided for the
+//! ablation benchmarks.
+//!
+//! Accumulators are designed for reuse across rows: `extract_into` drains
+//! and resets in `O(row nnz)`, never `O(ncols)`, so one accumulator instance
+//! serves a whole thread's worth of rows without re-allocation.
+
+use cw_sparse::{ColIdx, Value};
+
+/// Sentinel for an empty hash slot (no valid column id equals `u32::MAX`
+/// because matrix dimensions are `< u32::MAX`).
+const EMPTY: u32 = u32::MAX;
+
+/// Which accumulator implementation a kernel should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccumulatorKind {
+    /// Open-addressing hash table (the paper's choice, \[40\]).
+    #[default]
+    Hash,
+    /// Dense array with generation stamps (classic SPA).
+    Dense,
+    /// Append + sort + merge (ESC-style).
+    Sort,
+}
+
+/// Common interface of all sparse accumulators.
+pub trait Accumulator {
+    /// Adds `val` at column `col`, merging with any existing entry.
+    fn add(&mut self, col: ColIdx, val: Value);
+    /// Number of distinct columns currently held.
+    fn len(&self) -> usize;
+    /// True if no columns are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Appends the accumulated `(col, val)` entries to `cols`/`vals` in
+    /// ascending column order, then resets the accumulator for the next row.
+    fn extract_into(&mut self, cols: &mut Vec<ColIdx>, vals: &mut Vec<Value>);
+    /// Drops the accumulated entries without emitting them (symbolic-phase
+    /// use: callers read [`Accumulator::len`] first).
+    fn clear(&mut self);
+}
+
+/// Fibonacci-style multiplicative hash: fast, good-enough spread for column
+/// ids (the perf-book guidance: never SipHash in a kernel).
+#[inline(always)]
+fn hash32(x: u32, mask: usize) -> usize {
+    (x.wrapping_mul(0x9E37_79B9) as usize) & mask
+}
+
+/// Open-addressing (linear probing) hash accumulator.
+///
+/// Capacity is always a power of two and grows at 50% load. `keys` holds
+/// column ids (EMPTY = free), `vals` the running sums, and `occupied` the
+/// list of used slots so reset costs `O(entries)` rather than `O(capacity)`.
+#[derive(Debug)]
+pub struct HashAccumulator {
+    keys: Vec<u32>,
+    vals: Vec<Value>,
+    occupied: Vec<u32>,
+    mask: usize,
+    scratch: Vec<(ColIdx, Value)>,
+}
+
+impl HashAccumulator {
+    /// Creates an accumulator sized for about `expected` entries.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        HashAccumulator {
+            keys: vec![EMPTY; cap],
+            vals: vec![0.0; cap],
+            occupied: Vec::with_capacity(expected.max(8)),
+            mask: cap - 1,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Creates an accumulator with the default small capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(8)
+    }
+
+    #[inline]
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(16);
+        let mut keys = vec![EMPTY; new_cap];
+        let mut vals = vec![0.0; new_cap];
+        let mask = new_cap - 1;
+        let mut occupied = Vec::with_capacity(self.occupied.len() * 2);
+        for &slot in &self.occupied {
+            let (k, v) = (self.keys[slot as usize], self.vals[slot as usize]);
+            let mut h = hash32(k, mask);
+            while keys[h] != EMPTY {
+                h = (h + 1) & mask;
+            }
+            keys[h] = k;
+            vals[h] = v;
+            occupied.push(h as u32);
+        }
+        self.keys = keys;
+        self.vals = vals;
+        self.mask = mask;
+        self.occupied = occupied;
+    }
+}
+
+impl Default for HashAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accumulator for HashAccumulator {
+    #[inline]
+    fn add(&mut self, col: ColIdx, val: Value) {
+        debug_assert_ne!(col, EMPTY);
+        if self.occupied.len() * 2 >= self.keys.len() {
+            self.grow();
+        }
+        let mut h = hash32(col, self.mask);
+        loop {
+            let k = self.keys[h];
+            if k == col {
+                self.vals[h] += val;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[h] = col;
+                self.vals[h] = val;
+                self.occupied.push(h as u32);
+                return;
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    fn extract_into(&mut self, cols: &mut Vec<ColIdx>, vals: &mut Vec<Value>) {
+        self.scratch.clear();
+        self.scratch.reserve(self.occupied.len());
+        for &slot in &self.occupied {
+            self.scratch.push((self.keys[slot as usize], self.vals[slot as usize]));
+            self.keys[slot as usize] = EMPTY;
+        }
+        self.occupied.clear();
+        self.scratch.sort_unstable_by_key(|&(c, _)| c);
+        cols.extend(self.scratch.iter().map(|&(c, _)| c));
+        vals.extend(self.scratch.iter().map(|&(_, v)| v));
+    }
+
+    fn clear(&mut self) {
+        for &slot in &self.occupied {
+            self.keys[slot as usize] = EMPTY;
+        }
+        self.occupied.clear();
+    }
+}
+
+/// Dense accumulator ("SPA"): a value per column plus a generation stamp, so
+/// reset is `O(1)` (bump the generation) and only touched columns are sorted
+/// on extraction.
+#[derive(Debug)]
+pub struct DenseAccumulator {
+    vals: Vec<Value>,
+    stamp: Vec<u32>,
+    gen: u32,
+    touched: Vec<ColIdx>,
+}
+
+impl DenseAccumulator {
+    /// Creates a dense accumulator for matrices with `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        DenseAccumulator { vals: vec![0.0; ncols], stamp: vec![0; ncols], gen: 1, touched: Vec::new() }
+    }
+}
+
+impl Accumulator for DenseAccumulator {
+    #[inline]
+    fn add(&mut self, col: ColIdx, val: Value) {
+        let c = col as usize;
+        debug_assert!(c < self.vals.len());
+        if self.stamp[c] == self.gen {
+            self.vals[c] += val;
+        } else {
+            self.stamp[c] = self.gen;
+            self.vals[c] = val;
+            self.touched.push(col);
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    fn extract_into(&mut self, cols: &mut Vec<ColIdx>, vals: &mut Vec<Value>) {
+        self.touched.sort_unstable();
+        for &c in &self.touched {
+            cols.push(c);
+            vals.push(self.vals[c as usize]);
+        }
+        self.touched.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap-around: invalidate everything once per 2^32 rows.
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.touched.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+}
+
+/// Sort-merge accumulator: appends every partial product, then sorts and
+/// merges duplicates on extraction (expand-sort-compress). Cheap `add`, no
+/// random memory traffic, but `O(f log f)` extraction — the classic
+/// trade-off benchmarked in `benches/accumulators.rs`.
+#[derive(Debug, Default)]
+pub struct SortAccumulator {
+    entries: Vec<(ColIdx, Value)>,
+    distinct: usize,
+    dirty: bool,
+}
+
+impl SortAccumulator {
+    /// Creates an empty sort accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn compact(&mut self) {
+        self.entries.sort_unstable_by_key(|&(c, _)| c);
+        let mut w = 0usize;
+        let mut r = 0usize;
+        while r < self.entries.len() {
+            let (c, mut v) = self.entries[r];
+            r += 1;
+            while r < self.entries.len() && self.entries[r].0 == c {
+                v += self.entries[r].1;
+                r += 1;
+            }
+            self.entries[w] = (c, v);
+            w += 1;
+        }
+        self.entries.truncate(w);
+        self.distinct = w;
+        self.dirty = false;
+    }
+}
+
+impl Accumulator for SortAccumulator {
+    #[inline]
+    fn add(&mut self, col: ColIdx, val: Value) {
+        self.entries.push((col, val));
+        self.dirty = true;
+    }
+
+    fn len(&self) -> usize {
+        if self.dirty {
+            // `len` must be exact for the symbolic phase; compact lazily.
+            // Interior mutability is avoided by requiring &mut in practice:
+            // symbolic callers use `clear` right after, so we recompute here
+            // on a clone-free path via a const estimate. Instead, keep it
+            // simple and exact: compact on a temporary copy is wasteful, so
+            // we document that `len` is exact only after `compacted_len`.
+            // To keep the trait honest, compute exactly:
+            let mut sorted: Vec<ColIdx> = self.entries.iter().map(|&(c, _)| c).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len()
+        } else {
+            self.distinct
+        }
+    }
+
+    fn extract_into(&mut self, cols: &mut Vec<ColIdx>, vals: &mut Vec<Value>) {
+        if self.dirty {
+            self.compact();
+        }
+        cols.extend(self.entries.iter().map(|&(c, _)| c));
+        vals.extend(self.entries.iter().map(|&(_, v)| v));
+        self.entries.clear();
+        self.distinct = 0;
+        self.dirty = false;
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.distinct = 0;
+        self.dirty = false;
+    }
+}
+
+/// A boxed accumulator of the requested kind, sized for `ncols` columns.
+pub fn make_accumulator(kind: AccumulatorKind, ncols: usize) -> Box<dyn Accumulator> {
+    match kind {
+        AccumulatorKind::Hash => Box::new(HashAccumulator::new()),
+        AccumulatorKind::Dense => Box::new(DenseAccumulator::new(ncols)),
+        AccumulatorKind::Sort => Box::new(SortAccumulator::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(acc: &mut dyn Accumulator) {
+        // Insert with duplicates, out of order.
+        acc.add(5, 1.0);
+        acc.add(2, 2.0);
+        acc.add(5, 3.0);
+        acc.add(9, -1.0);
+        acc.add(2, 0.5);
+        assert_eq!(acc.len(), 3);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        acc.extract_into(&mut cols, &mut vals);
+        assert_eq!(cols, vec![2, 5, 9]);
+        assert_eq!(vals, vec![2.5, 4.0, -1.0]);
+        // Accumulator must be reusable after extraction.
+        assert_eq!(acc.len(), 0);
+        acc.add(1, 1.0);
+        assert_eq!(acc.len(), 1);
+        let (mut c2, mut v2) = (Vec::new(), Vec::new());
+        acc.extract_into(&mut c2, &mut v2);
+        assert_eq!(c2, vec![1]);
+        assert_eq!(v2, vec![1.0]);
+    }
+
+    #[test]
+    fn hash_accumulator_basic() {
+        exercise(&mut HashAccumulator::new());
+    }
+
+    #[test]
+    fn dense_accumulator_basic() {
+        exercise(&mut DenseAccumulator::new(16));
+    }
+
+    #[test]
+    fn sort_accumulator_basic() {
+        exercise(&mut SortAccumulator::new());
+    }
+
+    #[test]
+    fn hash_grows_past_initial_capacity() {
+        let mut acc = HashAccumulator::with_capacity(2);
+        for c in 0..1000u32 {
+            acc.add(c * 7 % 997, 1.0);
+        }
+        // 997 distinct keys mod 997 -> 0..996, with duplicates merged.
+        assert_eq!(acc.len(), 997);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        acc.extract_into(&mut cols, &mut vals);
+        assert_eq!(cols.len(), 997);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let total: f64 = vals.iter().sum();
+        assert_eq!(total, 1000.0);
+    }
+
+    #[test]
+    fn clear_discards_without_emitting() {
+        for acc in [
+            &mut HashAccumulator::new() as &mut dyn Accumulator,
+            &mut DenseAccumulator::new(8),
+            &mut SortAccumulator::new(),
+        ] {
+            acc.add(3, 1.0);
+            acc.add(4, 1.0);
+            acc.clear();
+            assert_eq!(acc.len(), 0);
+            acc.add(3, 2.0);
+            let (mut c, mut v) = (Vec::new(), Vec::new());
+            acc.extract_into(&mut c, &mut v);
+            assert_eq!(v, vec![2.0]); // old 1.0 must not leak through
+        }
+    }
+
+    #[test]
+    fn dense_generation_wraparound_is_safe() {
+        let mut acc = DenseAccumulator::new(4);
+        acc.gen = u32::MAX; // force wrap on next extract
+        acc.add(1, 5.0);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        acc.extract_into(&mut c, &mut v);
+        assert_eq!(v, vec![5.0]);
+        // After wrap, stale stamps must not alias.
+        acc.add(1, 7.0);
+        let (mut c2, mut v2) = (Vec::new(), Vec::new());
+        acc.extract_into(&mut c2, &mut v2);
+        assert_eq!(v2, vec![7.0]);
+    }
+
+    #[test]
+    fn sort_len_is_exact_while_dirty() {
+        let mut acc = SortAccumulator::new();
+        acc.add(3, 1.0);
+        acc.add(3, 1.0);
+        acc.add(1, 1.0);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn make_accumulator_dispatches() {
+        for kind in [AccumulatorKind::Hash, AccumulatorKind::Dense, AccumulatorKind::Sort] {
+            let mut acc = make_accumulator(kind, 32);
+            acc.add(7, 1.5);
+            assert_eq!(acc.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Row-wise Gustavson SpGEMM and its sparse accumulators (paper §2.2).
+//!
+//! This crate is the *baseline* the paper compares against, plus the shared
+//! machinery the cluster-wise kernel (in `cw-core`) reuses:
+//!
+//! * [`accumulator`] — sparse accumulators: the hash-table accumulator the
+//!   paper adopts from Nagasaka et al. \[40\], a dense "SPA" accumulator with
+//!   generation stamping, and a sort-merge accumulator, all behind one trait.
+//! * [`rowwise`] — serial and rayon-parallel two-phase (symbolic + numeric)
+//!   Gustavson SpGEMM over CSR.
+//! * [`flops`] — multiplication FLOP counts and the compression ratio
+//!   (`flops / nnz(C)`) that prior work uses to predict SpGEMM throughput.
+//! * [`topk`] — `SpGEMM_TopK(A, Aᵀ)`: the candidate-pair generation step of
+//!   hierarchical clustering (paper Alg. 3 line 3).
+//! * [`trace`] — extraction of the B-row access sequence a kernel performs,
+//!   consumed by `cw-cachesim` for deterministic locality measurements.
+//! * [`colwise`], [`heap`], [`pattern`] — alternative kernels (column-wise
+//!   Gustavson, k-way heap merge, symbolic-only) used for ablations and as
+//!   independent cross-validation paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod colwise;
+pub mod flops;
+pub mod heap;
+pub mod pattern;
+pub mod rowwise;
+pub mod topk;
+pub mod trace;
+
+pub use accumulator::{
+    Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, SortAccumulator,
+};
+pub use colwise::spgemm_colwise;
+pub use heap::spgemm_heap;
+pub use pattern::spgemm_pattern;
+pub use rowwise::{spgemm, spgemm_serial, spgemm_with, SpGemmOptions};
+pub use topk::{spgemm_topk, CandidatePair};

@@ -1,0 +1,112 @@
+//! Pattern (symbolic-only) SpGEMM: the sparsity structure of `A·B` without
+//! numeric values.
+//!
+//! Used where only the structure matters — the `A·Aᵀ` similarity product of
+//! hierarchical clustering counts *overlaps*, and symbolic analysis of
+//! fill-in needs structure only. The kernel skips multiplication entirely
+//! and collects distinct columns with a stamped dense set, which is also a
+//! useful independent cross-check of the numeric kernels' symbolic phase.
+
+use cw_sparse::{ColIdx, CsrMatrix};
+use rayon::prelude::*;
+
+/// Stamped dense set for symbolic accumulation (reset is O(1)).
+struct StampSet {
+    stamp: Vec<u32>,
+    gen: u32,
+    touched: Vec<ColIdx>,
+}
+
+impl StampSet {
+    fn new(n: usize) -> Self {
+        StampSet { stamp: vec![0; n], gen: 1, touched: Vec::new() }
+    }
+
+    #[inline]
+    fn insert(&mut self, c: ColIdx) {
+        let i = c as usize;
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.touched.push(c);
+        }
+    }
+
+    fn drain_sorted(&mut self) -> Vec<ColIdx> {
+        self.touched.sort_unstable();
+        let out = std::mem::take(&mut self.touched);
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        out
+    }
+}
+
+/// Structure of `A·B` with all stored values `1.0`.
+pub fn spgemm_pattern(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.ncols, b.nrows, "dimension mismatch");
+    let rows: Vec<Vec<ColIdx>> = (0..a.nrows)
+        .into_par_iter()
+        .map_init(
+            || StampSet::new(b.ncols),
+            |set, i| {
+                for &k in a.row_cols(i) {
+                    for &j in b.row_cols(k as usize) {
+                        set.insert(j);
+                    }
+                }
+                set.drain_sorted()
+            },
+        )
+        .collect();
+    let mut row_ptr = Vec::with_capacity(a.nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    for r in rows {
+        col_idx.extend_from_slice(&r);
+        row_ptr.push(col_idx.len());
+    }
+    let nnz = col_idx.len();
+    CsrMatrix { nrows: a.nrows, ncols: b.ncols, row_ptr, col_idx, vals: vec![1.0; nnz] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowwise::spgemm_serial;
+    use cw_sparse::gen::er::erdos_renyi;
+    use cw_sparse::gen::grid::poisson2d;
+
+    #[test]
+    fn pattern_matches_numeric_structure() {
+        let a = poisson2d(8, 7);
+        let numeric = spgemm_serial(&a, &a);
+        let pattern = spgemm_pattern(&a, &a);
+        assert_eq!(pattern.row_ptr, numeric.row_ptr);
+        assert_eq!(pattern.col_idx, numeric.col_idx);
+        assert!(pattern.vals.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn pattern_on_random_matrix() {
+        let a = erdos_renyi(50, 5, 3);
+        let numeric = spgemm_serial(&a, &a);
+        let pattern = spgemm_pattern(&a, &a);
+        assert_eq!(pattern.col_idx, numeric.col_idx);
+        pattern.validate().unwrap();
+    }
+
+    #[test]
+    fn identity_pattern() {
+        let i = CsrMatrix::identity(6);
+        let p = spgemm_pattern(&i, &i);
+        assert!(p.approx_eq(&i, 0.0));
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let z = CsrMatrix::zeros(3, 3);
+        assert_eq!(spgemm_pattern(&z, &z).nnz(), 0);
+    }
+}

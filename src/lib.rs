@@ -1,0 +1,82 @@
+//! # clusterwise-spgemm
+//!
+//! A from-scratch Rust reproduction of *"Improving SpGEMM Performance
+//! Through Matrix Reordering and Cluster-wise Computation"* (SC 2025):
+//! shared-memory parallel SpGEMM accelerated by row reordering and a
+//! cluster-wise computation scheme over the `CSR_Cluster` format.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
+//!   synthetic matrix generators, structural statistics.
+//! * [`spgemm`] — row-wise Gustavson SpGEMM (the baseline) with hash /
+//!   dense / sort accumulators, FLOP analysis, `SpGEMM_TopK`.
+//! * [`partition`] — multilevel graph & hypergraph partitioners and nested
+//!   dissection (METIS/PaToH stand-ins).
+//! * [`reorder`] — the ten row-reordering algorithms of the paper's study.
+//! * [`core`] — the contribution: `CSR_Cluster`, fixed / variable /
+//!   hierarchical clustering, and the cluster-wise SpGEMM kernel.
+//! * [`cachesim`] — cache simulation and reuse-distance analysis for
+//!   deterministic locality measurements.
+//! * [`datasets`] — the 110-matrix synthetic corpus and BC-frontier
+//!   workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//!
+//! // A scrambled triangulated mesh (similar rows are scattered).
+//! let a = clusterwise_spgemm::sparse::gen::mesh::tri_mesh(24, 24, true, 42);
+//!
+//! // Baseline: row-wise Gustavson A².
+//! let c_rowwise = spgemm(&a, &a);
+//!
+//! // Hierarchical clustering: find similar rows via SpGEMM(A·Aᵀ), group
+//! // them, and multiply cluster-wise.
+//! let h = hierarchical_clustering(&a, &ClusterConfig::default());
+//! let (clustered, pa) = h.build_symmetric(&a);
+//! let c_clustered = clusterwise_spgemm(&clustered, &pa);
+//!
+//! // Same product, up to the symmetric permutation.
+//! let expected = h.perm.permute_symmetric(&c_rowwise);
+//! assert!(c_clustered.numerically_eq(&expected, 1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cw_cachesim as cachesim;
+pub use cw_core as core;
+pub use cw_datasets as datasets;
+pub use cw_partition as partition;
+pub use cw_reorder as reorder;
+pub use cw_sparse as sparse;
+pub use cw_spgemm as spgemm;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use cw_core::{
+        clusterwise_spgemm, fixed_clustering, hierarchical_clustering, variable_clustering,
+        ClusterConfig, Clustering, CsrCluster,
+    };
+    pub use cw_reorder::Reordering;
+    pub use cw_sparse::{CooMatrix, CscMatrix, CsrMatrix, Permutation};
+    pub use cw_spgemm::{spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exports_work_together() {
+        let a = crate::sparse::gen::grid::poisson2d(8, 8);
+        let c = spgemm(&a, &a);
+        assert_eq!(c.nrows, 64);
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        let (cc, pa) = h.build_symmetric(&a);
+        let c2 = clusterwise_spgemm(&cc, &pa);
+        assert_eq!(c2.nnz(), c.nnz());
+    }
+}

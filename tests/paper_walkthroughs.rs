@@ -1,0 +1,135 @@
+//! The paper's worked examples, reproduced exactly: Fig. 1/4 (CSR), Fig. 5
+//! (clusterings of the example matrix), Fig. 6 (CSR_Cluster layouts),
+//! Fig. 7 (A·Aᵀ similarity counts), and the §3.2 Algorithm 2 trace.
+
+use clusterwise_spgemm::prelude::*;
+
+/// The 6×6 matrix of paper Fig. 1 / Fig. 4 / Fig. 5.
+fn fig1() -> CsrMatrix {
+    CsrMatrix::from_row_lists(
+        6,
+        vec![
+            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (2, 1.0), (5, 1.0)],
+            vec![(0, 1.0), (1, 1.0), (5, 1.0)],
+            vec![(3, 1.0), (4, 1.0), (5, 1.0)],
+            vec![(2, 1.0), (4, 1.0), (5, 1.0)],
+            vec![(0, 1.0), (3, 1.0)],
+        ],
+    )
+}
+
+/// The reordered matrix of paper Fig. 7(a).
+fn fig7() -> CsrMatrix {
+    CsrMatrix::from_row_lists(
+        6,
+        vec![
+            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (2, 1.0), (5, 1.0)],
+            vec![(0, 1.0), (2, 1.0), (4, 1.0)],
+            vec![(3, 1.0), (4, 1.0)],
+            vec![(2, 1.0), (3, 1.0), (4, 1.0)],
+            vec![(1, 1.0), (4, 1.0), (5, 1.0)],
+        ],
+    )
+}
+
+#[test]
+fn fig4_csr_arrays() {
+    // Paper Fig. 4: col-id and row-ptrs of the Fig. 1 matrix.
+    let a = fig1();
+    assert_eq!(a.row_ptr, vec![0, 3, 6, 9, 12, 15, 17]);
+    assert_eq!(
+        a.col_idx,
+        vec![0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3]
+    );
+}
+
+#[test]
+fn fig5a_fixed_length_clusters() {
+    // Fig. 5(a): fixed-length clusters of three consecutive rows.
+    let a = fig1();
+    let c = fixed_clustering(&a, 3);
+    assert_eq!(c.sizes, vec![3, 3]);
+}
+
+#[test]
+fn fig5b_variable_length_clusters() {
+    // §3.2 walk-through: similarities 0.5, 0.5 (join), 0.0 (break),
+    // 0.5 (join), 0.25 (break) → clusters {0-2}, {3-4}, {5}.
+    let a = fig1();
+    use clusterwise_spgemm::sparse::jaccard::jaccard;
+    assert_eq!(jaccard(a.row_cols(0), a.row_cols(1)), 0.5);
+    assert_eq!(jaccard(a.row_cols(0), a.row_cols(2)), 0.5);
+    assert_eq!(jaccard(a.row_cols(0), a.row_cols(3)), 0.0);
+    assert_eq!(jaccard(a.row_cols(3), a.row_cols(4)), 0.5);
+    assert_eq!(jaccard(a.row_cols(3), a.row_cols(5)), 0.25);
+    let c = variable_clustering(&a, &ClusterConfig { jacc_th: 0.3, max_cluster: 8 });
+    assert_eq!(c.sizes, vec![3, 2, 1]);
+}
+
+#[test]
+fn fig6_csr_cluster_layouts() {
+    let a = fig1();
+    // (a) fixed-length: cluster-ptrs 0, 4, 9.
+    let fixed = CsrCluster::from_csr(&a, &fixed_clustering(&a, 3));
+    assert_eq!(fixed.cluster_ptr, vec![0, 4, 9]);
+    assert_eq!(fixed.cluster_cols(0), &[0, 1, 2, 5]);
+    assert_eq!(fixed.cluster_cols(1), &[0, 2, 3, 4, 5]);
+    // (b) variable-length: cluster-sz 3 2 1, cluster-ptrs 0 4 8 10.
+    let var = CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default()));
+    assert_eq!(var.row_start, vec![0, 3, 5, 6]);
+    assert_eq!(var.cluster_ptr, vec![0, 4, 8, 10]);
+}
+
+#[test]
+fn fig7_a_times_at_counts_overlaps() {
+    // Paper Fig. 7(b): the output of SpGEMM(A × Aᵀ) on the pattern of A
+    // counts overlapping nonzeros; diagonal = row sizes.
+    let a = fig7().to_pattern();
+    let at = a.transpose();
+    let c = spgemm_serial(&a, &at);
+    // Spot-check values from Fig. 7(b).
+    assert_eq!(c.get(0, 0), Some(3.0)); // row 0 has 3 nonzeros
+    assert_eq!(c.get(0, 1), Some(2.0)); // rows 0,1 share {1,2}
+    assert_eq!(c.get(0, 3), None); // rows 0,3 share nothing -> not stored
+    assert_eq!(c.get(4, 3), Some(2.0)); // rows 4,3 share {3,4}
+    assert_eq!(c.get(5, 2), Some(1.0)); // rows 5,2 share {4}... checking
+    assert_eq!(c.get(3, 3), Some(2.0)); // row 3 has 2 nonzeros
+}
+
+#[test]
+fn fig1_a_squared_through_both_kernels() {
+    // The running example's actual product, all kernels, all clusterings.
+    let a = fig1();
+    let reference = spgemm_serial(&a, &a);
+    for clustering in [
+        fixed_clustering(&a, 3),
+        variable_clustering(&a, &ClusterConfig::default()),
+    ] {
+        let cc = CsrCluster::from_csr(&a, &clustering);
+        assert!(clusterwise_spgemm(&cc, &a).approx_eq(&reference, 1e-12));
+    }
+    let h = hierarchical_clustering(&a, &ClusterConfig::default());
+    let (cc, pa) = h.build_symmetric(&a);
+    let got = clusterwise_spgemm(&cc, &pa);
+    assert!(got.numerically_eq(&h.perm.permute_symmetric(&reference), 1e-12));
+}
+
+#[test]
+fn alg3_hierarchical_groups_fig7_similar_rows() {
+    // On Fig. 7's matrix, rows {0,1,2} overlap each other (J=0.5) and rows
+    // {3,4} overlap (J=2/3) — hierarchical clustering should group
+    // accordingly (threshold 0.3 keeps 5 out with J=0.25 vs row 4... its
+    // best partner is row 1 with J={1,5}:2/4=0.5).
+    let a = fig7();
+    let h = hierarchical_clustering(&a, &ClusterConfig::default());
+    // All rows with a ≥0.3 partner end up in non-singleton clusters.
+    let total: u32 = h.clustering.sizes.iter().sum();
+    assert_eq!(total, 6);
+    assert!(
+        h.clustering.sizes.iter().any(|&s| s >= 2),
+        "no clusters formed: {:?}",
+        h.clustering.sizes
+    );
+}

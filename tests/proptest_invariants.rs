@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: format round-trips, kernel correctness against a dense
+//! reference, permutation algebra, clustering laws, and similarity bounds.
+
+use clusterwise_spgemm::prelude::*;
+use clusterwise_spgemm::sparse::jaccard::{jaccard, jaccard_from_overlap};
+use clusterwise_spgemm::sparse::CooMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix as (n, entries).
+fn sparse_square(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(n, n);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+/// Strategy: a random clustering of `n` rows with sizes in 1..=8.
+fn clustering_of(n: usize) -> impl Strategy<Value = Clustering> {
+    proptest::collection::vec(1u32..=8, 1..=n)
+        .prop_map(move |mut sizes| {
+            // Trim/pad so sizes sum to exactly n.
+            let mut total = 0u32;
+            let mut out = Vec::new();
+            for s in sizes.drain(..) {
+                if total + s >= n as u32 {
+                    out.push(n as u32 - total);
+                    total = n as u32;
+                    break;
+                }
+                total += s;
+                out.push(s);
+            }
+            while total < n as u32 {
+                let s = (n as u32 - total).min(8);
+                out.push(s);
+                total += s;
+            }
+            out.retain(|&s| s > 0);
+            Clustering { sizes: out }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_coo_round_trip(a in sparse_square(24, 120)) {
+        let back = a.to_coo().to_csr();
+        prop_assert!(a.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in sparse_square(24, 120)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(a in sparse_square(24, 120)) {
+        let t = a.transpose();
+        prop_assert!((a.frobenius_norm() - t.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference(a in sparse_square(14, 60)) {
+        let c = spgemm(&a, &a);
+        let reference = cw_spgemm_dense_ref(&a, &a);
+        prop_assert!(c.numerically_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn csr_cluster_round_trips(
+        (a, clustering) in sparse_square(24, 150).prop_flat_map(|a| {
+            let n = a.nrows;
+            (Just(a), clustering_of(n))
+        })
+    ) {
+        clustering.validate(a.nrows).unwrap();
+        let cc = CsrCluster::from_csr(&a, &clustering);
+        cc.validate().unwrap();
+        prop_assert_eq!(cc.nnz(), a.nnz());
+        prop_assert!(cc.to_csr().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn clusterwise_matches_rowwise_any_clustering(
+        (a, clustering) in sparse_square(16, 80).prop_flat_map(|a| {
+            let n = a.nrows;
+            (Just(a), clustering_of(n))
+        })
+    ) {
+        let cc = CsrCluster::from_csr(&a, &clustering);
+        let got = clusterwise_spgemm(&cc, &a);
+        let expected = spgemm_serial(&a, &a);
+        prop_assert!(got.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn variable_clustering_is_a_partition(a in sparse_square(40, 200)) {
+        let c = variable_clustering(&a, &ClusterConfig::default());
+        prop_assert!(c.validate(a.nrows).is_ok());
+    }
+
+    #[test]
+    fn hierarchical_produces_valid_permutation_and_partition(a in sparse_square(30, 150)) {
+        let h = hierarchical_clustering(&a, &ClusterConfig::default());
+        prop_assert_eq!(h.perm.len(), a.nrows);
+        prop_assert!(h.clustering.validate(a.nrows).is_ok());
+        // Every cluster respects the cap.
+        prop_assert!(h.clustering.sizes.iter().all(|&s| s <= 8));
+    }
+
+    #[test]
+    fn permutation_inverse_composes_to_identity(n in 1usize..64, seed in 0u64..1000) {
+        let p = clusterwise_spgemm::reorder::random_permutation(n, seed);
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_value_multiset(
+        a in sparse_square(20, 100),
+        seed in 0u64..100,
+    ) {
+        let p = clusterwise_spgemm::reorder::random_permutation(a.nrows, seed);
+        let b = p.permute_symmetric(&a);
+        prop_assert_eq!(a.nnz(), b.nnz());
+        let mut va = a.vals.clone();
+        let mut vb = b.vals.clone();
+        va.sort_by(f64::total_cmp);
+        vb.sort_by(f64::total_cmp);
+        prop_assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(
+        xs in proptest::collection::btree_set(0u32..64, 0..20),
+        ys in proptest::collection::btree_set(0u32..64, 0..20),
+    ) {
+        let xv: Vec<u32> = xs.iter().copied().collect();
+        let yv: Vec<u32> = ys.iter().copied().collect();
+        let j1 = jaccard(&xv, &yv);
+        let j2 = jaccard(&yv, &xv);
+        prop_assert!((j1 - j2).abs() < 1e-15);
+        prop_assert!((0.0..=1.0).contains(&j1));
+        // Consistency with the overlap formulation.
+        let inter = xs.intersection(&ys).count();
+        prop_assert!((j1 - jaccard_from_overlap(inter, xv.len(), yv.len())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flops_bound_output_size(a in sparse_square(16, 80)) {
+        // nnz(C) can never exceed the multiply-add count.
+        let c = spgemm(&a, &a);
+        let ma = clusterwise_spgemm::spgemm::flops::multiply_adds(&a, &a);
+        prop_assert!(c.nnz() as u64 <= ma);
+    }
+}
+
+/// Dense reference multiply (kept here to avoid exposing test helpers).
+fn cw_spgemm_dense_ref(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    let da = a.to_dense();
+    let db = b.to_dense();
+    let mut dc = vec![0.0; a.nrows * b.ncols];
+    for i in 0..a.nrows {
+        for k in 0..a.ncols {
+            let av = da[i * a.ncols + k];
+            if av != 0.0 {
+                for j in 0..b.ncols {
+                    dc[i * b.ncols + j] += av * db[k * b.ncols + j];
+                }
+            }
+        }
+    }
+    CsrMatrix::from_dense(a.nrows, b.ncols, &dc)
+}
