@@ -13,11 +13,9 @@ fn bench_accumulators(c: &mut Criterion) {
         let a = d.build(Scale::Small);
         for acc in [AccumulatorKind::Hash, AccumulatorKind::Dense, AccumulatorKind::Sort] {
             let opts = SpGemmOptions { acc, ..Default::default() };
-            group.bench_with_input(
-                BenchmarkId::new(format!("{acc:?}"), d.name),
-                &a,
-                |b, a| b.iter(|| spgemm_with(a, a, &opts)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{acc:?}"), d.name), &a, |b, a| {
+                b.iter(|| spgemm_with(a, a, &opts))
+            });
         }
     }
     group.finish();

@@ -21,11 +21,9 @@ fn bench_fig2(c: &mut Criterion) {
             Reordering::Hp(16),
         ] {
             let pa = algo.compute(&a, 7).permute_symmetric(&a);
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), d.name),
-                &pa,
-                |b, pa| b.iter(|| spgemm(pa, pa)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), d.name), &pa, |b, pa| {
+                b.iter(|| spgemm(pa, pa))
+            });
         }
     }
     group.finish();

@@ -17,9 +17,7 @@ fn bench_fig8(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rowwise", d.name), &a, |b, a| {
             b.iter(|| spgemm(a, a))
         });
-        for scheme in
-            [ClusterScheme::Fixed, ClusterScheme::Variable, ClusterScheme::Hierarchical]
-        {
+        for scheme in [ClusterScheme::Fixed, ClusterScheme::Variable, ClusterScheme::Hierarchical] {
             let (cc, _, square) = build_clustered(&a, scheme, &cfg);
             group.bench_with_input(
                 BenchmarkId::new(scheme.name(), d.name),

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cw_core::ablation::clusterwise_row_major;
-use cw_core::{clusterwise_spgemm, fixed_clustering, CsrCluster};
+use cw_core::{fixed_clustering, CsrCluster};
 use cw_sparse::gen::banded::grouped_rows;
 use cw_spgemm::spgemm_serial;
 

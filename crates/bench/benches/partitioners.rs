@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cw_datasets::{representative, Scale};
-use cw_partition::{nested_dissection_order, partition_graph, partition_hypergraph, Graph, Hypergraph};
+use cw_partition::{
+    nested_dissection_order, partition_graph, partition_hypergraph, Graph, Hypergraph,
+};
 
 fn bench_partitioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioners");

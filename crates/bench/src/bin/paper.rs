@@ -1,7 +1,7 @@
 //! `paper` — regenerates the paper's figures and tables.
 //!
 //! ```text
-//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|all>
+//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|all>
 //!       [--scale small|medium|large] [--subset N] [--reps N]
 //!       [--seed N] [--out DIR]
 //! ```
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|all>\n\
+        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|all>\n\
          \x20      [--scale small|medium|large] [--subset N] [--reps N] [--seed N] [--out DIR]"
     );
     std::process::exit(2)
@@ -36,16 +36,12 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                cfg.scale = args
-                    .get(i)
-                    .and_then(|s| Scale::parse(s))
-                    .unwrap_or_else(|| usage());
+                cfg.scale = args.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| usage());
             }
             "--subset" => {
                 i += 1;
-                cfg.subset = Some(
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
-                );
+                cfg.subset =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--reps" => {
                 i += 1;
@@ -78,6 +74,7 @@ fn main() -> ExitCode {
             "table4" => cw_bench::experiments::table4::run(cfg),
             "ablation" => cw_bench::experiments::ablation::run(cfg),
             "corpus" => cw_bench::experiments::corpus::run(cfg),
+            "engine" => cw_bench::experiments::engine::run(cfg),
             "summary" => cw_bench::experiments::summary::run(cfg),
             _ => return None,
         };

@@ -22,14 +22,21 @@ use cw_core::{
 
 /// Runs the parameter-sweep ablations on the representative datasets.
 pub fn run(cfg: &RunConfig) -> Report {
-    let mut rep = Report::new("ablation", "Design-choice ablations (clustering parameters, access pattern)");
+    let mut rep =
+        Report::new("ablation", "Design-choice ablations (clustering parameters, access pattern)");
     rep.note("Extensions beyond the paper's figures; all speedups vs row-wise original order, A² workload.");
 
     let datasets = cw_datasets::representative(cfg.scale);
 
     // --- 1. jacc_th sweep (variable-length + hierarchical) ---
     let mut t1 = Table::new(vec![
-        "Dataset", "th=0.1 spd", "th=0.3 spd", "th=0.5 spd", "th=0.1 #cl", "th=0.3 #cl", "th=0.5 #cl",
+        "Dataset",
+        "th=0.1 spd",
+        "th=0.3 spd",
+        "th=0.5 spd",
+        "th=0.1 #cl",
+        "th=0.3 #cl",
+        "th=0.5 #cl",
     ]);
     for d in datasets.iter().take(6) {
         let a = d.build(cfg.scale);
@@ -92,7 +99,11 @@ pub fn run(cfg: &RunConfig) -> Report {
     // are trivially identical, which is itself a finding reported by the
     // `singleton_clusters_trace_equivalence` unit test.
     let mut t4 = Table::new(vec![
-        "Matrix", "clustering", "row-major misses", "column-major misses", "reduction",
+        "Matrix",
+        "clustering",
+        "row-major misses",
+        "column-major misses",
+        "reduction",
     ]);
     let cache = CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 };
     let f = cfg.scale.factor();
@@ -106,8 +117,14 @@ pub fn run(cfg: &RunConfig) -> Report {
     ];
     for (name, a) in cases {
         for (label, cc) in [
-            ("variable", CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default()))),
-            ("hierarchical", hierarchical_clustering(&a, &ClusterConfig::default()).build_symmetric(&a).0),
+            (
+                "variable",
+                CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default())),
+            ),
+            (
+                "hierarchical",
+                hierarchical_clustering(&a, &ClusterConfig::default()).build_symmetric(&a).0,
+            ),
         ] {
             // Correctness guard: both kernels produce the same product.
             let back = cc.to_csr();

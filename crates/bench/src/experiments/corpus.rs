@@ -15,7 +15,13 @@ pub fn run(cfg: &RunConfig) -> Report {
         cfg.scale
     ));
     let mut t = Table::new(vec![
-        "dataset", "category", "n", "nnz", "avg nnz/row", "max nnz/row", "bandwidth",
+        "dataset",
+        "category",
+        "n",
+        "nnz",
+        "avg nnz/row",
+        "max nnz/row",
+        "bandwidth",
         "consecutive Jaccard",
     ]);
     for d in &datasets {

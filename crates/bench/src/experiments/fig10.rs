@@ -25,16 +25,11 @@ pub fn amortization_runs(preprocess: f64, base: f64, optimized: f64) -> Option<f
 pub fn run(cfg: &RunConfig) -> Report {
     let datasets = cfg.select(cw_datasets::corpus(cfg.scale));
     // Row-wise reorderings, minus HP (as the paper does).
-    let algos: Vec<Reordering> = Reordering::all_ten()
-        .into_iter()
-        .filter(|a| !matches!(a, Reordering::Hp(_)))
-        .collect();
+    let algos: Vec<Reordering> =
+        Reordering::all_ten().into_iter().filter(|a| !matches!(a, Reordering::Hp(_))).collect();
     let rw = rowwise_sweep(&datasets, &algos, cfg);
-    let hier = cluster_sweep(
-        &datasets,
-        &[(ClusterScheme::Hierarchical, Reordering::Original)],
-        cfg,
-    );
+    let hier =
+        cluster_sweep(&datasets, &[(ClusterScheme::Hierarchical, Reordering::Original)], cfg);
 
     let thresholds: Vec<f64> = (0..=20).map(|x| x as f64).collect();
     let mut rep = Report::new("fig10", "Performance profile of reordering/clustering overhead");
@@ -53,7 +48,9 @@ pub fn run(cfg: &RunConfig) -> Report {
         let runs: Vec<f64> = rw
             .iter()
             .filter(|r| r.algo == algo)
-            .filter_map(|r| amortization_runs(r.preprocess_seconds, r.base_seconds, r.kernel_seconds))
+            .filter_map(|r| {
+                amortization_runs(r.preprocess_seconds, r.base_seconds, r.kernel_seconds)
+            })
             .collect();
         let prof = performance_profile(&runs, &thresholds);
         let mut row = vec![algo.to_string(), runs.len().to_string()];

@@ -29,10 +29,8 @@ pub fn run(cfg: &RunConfig) -> Report {
     rep.note("Ratio < 1 means the clustered format is smaller than CSR (shared union column ids beat padding).");
     rep.note("Paper shape: variable-length lowest overhead, fixed-length highest (padding), hierarchical in between; many cases below 1×.");
 
-    let schemes =
-        [ClusterScheme::Fixed, ClusterScheme::Variable, ClusterScheme::Hierarchical];
-    let thresholds: Vec<f64> =
-        [0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0].to_vec();
+    let schemes = [ClusterScheme::Fixed, ClusterScheme::Variable, ClusterScheme::Hierarchical];
+    let thresholds: Vec<f64> = [0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0].to_vec();
 
     let mut cdf_table = Table::new({
         let mut h = vec!["Scheme".to_string()];

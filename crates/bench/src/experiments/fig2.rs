@@ -21,12 +21,13 @@ pub fn run(cfg: &RunConfig) -> Report {
 /// Renders the report from sweep records (separated for testing).
 pub fn render(records: &[RowwiseRecord], ndatasets: usize) -> Report {
     let mut rep = Report::new("fig2", "Row-wise SpGEMM speedup after reordering (box plots)");
-    rep.note(format!("{ndatasets} datasets; speedup = t(original order) / t(reordered), A² workload."));
+    rep.note(format!(
+        "{ndatasets} datasets; speedup = t(original order) / t(reordered), A² workload."
+    ));
     rep.note("Paper shape: HP/GP/RCM medians above 1; Shuffled median well below 1; wide whiskers on mesh-heavy algorithms.");
 
-    let mut summary = Table::new(vec![
-        "Algorithm", "min", "q1", "median", "q3", "max", "GM", "Pos.%",
-    ]);
+    let mut summary =
+        Table::new(vec!["Algorithm", "min", "q1", "median", "q3", "max", "GM", "Pos.%"]);
     let algo_names = unique_stable(records.iter().map(|r| r.algo));
     for algo in algo_names {
         let speeds: Vec<f64> =

@@ -16,8 +16,7 @@ pub fn run(cfg: &RunConfig) -> Report {
     ];
     let records = cluster_sweep(&datasets, &combos, cfg);
 
-    let mut rep =
-        Report::new("fig8", "Cluster-wise SpGEMM on the representative datasets (A²)");
+    let mut rep = Report::new("fig8", "Cluster-wise SpGEMM on the representative datasets (A²)");
     rep.note("Paper shape: fixed/variable help the block/banded and mesh matrices (up to ~1.6×), hierarchical is the most consistent winner.");
     let mut t = Table::new(vec!["Dataset", "Fixed-length", "Variable-length", "Hierarchical"]);
     for d in &datasets {

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod corpus;
+pub mod engine;
 pub mod fig10;
 pub mod fig11;
 pub mod fig2;

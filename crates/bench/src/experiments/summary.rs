@@ -108,7 +108,11 @@ pub fn run(cfg: &RunConfig) -> Report {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]
@@ -118,12 +122,7 @@ mod tests {
 
     #[test]
     fn summary_renders_on_tiny_subset() {
-        let cfg = RunConfig {
-            subset: Some(3),
-            reps: 1,
-            scale: Scale::Small,
-            ..Default::default()
-        };
+        let cfg = RunConfig { subset: Some(3), reps: 1, scale: Scale::Small, ..Default::default() };
         let rep = run(&cfg);
         let md = rep.to_markdown();
         assert!(md.contains("headline claims"));

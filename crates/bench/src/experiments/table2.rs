@@ -34,18 +34,22 @@ pub fn collect(cfg: &RunConfig) -> Table2Data {
 
 /// Renders Table 2 from collected data.
 pub fn render(data: &Table2Data) -> Report {
-    let mut rep = Report::new(
-        "table2",
-        "Reordering speedups across SpGEMM variants (GM / Pos.% / +GM)",
-    );
+    let mut rep =
+        Report::new("table2", "Reordering speedups across SpGEMM variants (GM / Pos.% / +GM)");
     rep.note("Speedups relative to the same variant on the ORIGINAL matrix order (row-wise baseline for all columns, matching the paper).");
     rep.note("Paper shape: HP/GP/RCM lead every variant; Shuffled ≈ 0.4 GM; 'Best Reord.' GM ≈ 2-3 with ≥90% positive.");
 
     let mut t = Table::new(vec![
         "Algorithm",
-        "Row GM", "Row Pos.%", "Row +GM",
-        "Fixed GM", "Fixed Pos.%", "Fixed +GM",
-        "Var GM", "Var Pos.%", "Var +GM",
+        "Row GM",
+        "Row Pos.%",
+        "Row +GM",
+        "Fixed GM",
+        "Fixed Pos.%",
+        "Fixed +GM",
+        "Var GM",
+        "Var Pos.%",
+        "Var +GM",
     ]);
 
     let algo_order: Vec<&str> = unique_stable(data.rowwise.iter().map(|r| r.algo));
@@ -66,13 +70,11 @@ pub fn render(data: &Table2Data) -> Report {
         .map(|r| ((r.dataset, r.reorder), r.speedup))
         .collect();
 
-    let summarize =
-        |map: &HashMap<(&str, &str), f64>, algo: &str| -> (String, String, String) {
-            let vals: Vec<f64> =
-                map.iter().filter(|((_, a), _)| *a == algo).map(|(_, &s)| s).collect();
-            let s = summarize_speedups(&vals);
-            (f2(s.gm), f2(s.pos_pct), f2(s.pos_gm))
-        };
+    let summarize = |map: &HashMap<(&str, &str), f64>, algo: &str| -> (String, String, String) {
+        let vals: Vec<f64> = map.iter().filter(|((_, a), _)| *a == algo).map(|(_, &s)| s).collect();
+        let s = summarize_speedups(&vals);
+        (f2(s.gm), f2(s.pos_pct), f2(s.pos_gm))
+    };
 
     for algo in &algo_order {
         let (rg, rp, rpg) = summarize(&row_map, algo);
@@ -97,9 +99,15 @@ pub fn render(data: &Table2Data) -> Report {
     let vb = summarize_speedups(&best_of(&var_map));
     t.push_row(vec![
         "Best Reord.".to_string(),
-        f2(rb.gm), f2(rb.pos_pct), f2(rb.pos_gm),
-        f2(fb.gm), f2(fb.pos_pct), f2(fb.pos_gm),
-        f2(vb.gm), f2(vb.pos_pct), f2(vb.pos_gm),
+        f2(rb.gm),
+        f2(rb.pos_pct),
+        f2(rb.pos_gm),
+        f2(fb.gm),
+        f2(fb.pos_pct),
+        f2(fb.pos_gm),
+        f2(vb.gm),
+        f2(vb.pos_pct),
+        f2(vb.pos_gm),
     ]);
 
     rep.add_table("summary", t);
@@ -118,12 +126,7 @@ mod tests {
 
     #[test]
     fn table2_renders_on_tiny_subset() {
-        let cfg = RunConfig {
-            subset: Some(2),
-            reps: 1,
-            scale: Scale::Small,
-            ..Default::default()
-        };
+        let cfg = RunConfig { subset: Some(2), reps: 1, scale: Scale::Small, ..Default::default() };
         let rep = run(&cfg);
         let md = rep.to_markdown();
         assert!(md.contains("Best Reord."));

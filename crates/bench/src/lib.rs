@@ -8,7 +8,9 @@
 //!   shared per-dataset measurement pipeline.
 //! * [`report`] — markdown and CSV emission.
 //! * [`experiments`] — one module per paper artifact: `fig2`, `fig3`,
-//!   `fig8`, `fig9`, `fig10`, `fig11`, `table2`, `table3`, `table4`.
+//!   `fig8`, `fig9`, `fig10`, `fig11`, `table2`, `table3`, `table4` — plus
+//!   `engine`, comparing the adaptive `cw-engine` pipeline against fixed
+//!   pipelines and measuring plan-cache amortization.
 //!
 //! The `paper` binary (`cargo run -p cw-bench --release --bin paper`) drives
 //! them; criterion micro-benchmarks live under `benches/`.

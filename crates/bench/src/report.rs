@@ -30,7 +30,8 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(s, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(s, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));
         }
@@ -47,7 +48,8 @@ impl Table {
             }
         };
         let mut s = String::new();
-        let _ = writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(s, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","));
         }
@@ -111,8 +113,7 @@ impl Report {
                 .chars()
                 .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
                 .collect();
-            let mut f =
-                std::fs::File::create(dir.join(format!("{}_{}_{}.csv", self.id, i, safe)))?;
+            let mut f = std::fs::File::create(dir.join(format!("{}_{}_{}.csv", self.id, i, safe)))?;
             f.write_all(t.to_csv().as_bytes())?;
         }
         Ok(())

@@ -40,12 +40,7 @@ impl ReuseHistogram {
         if n == 0 {
             return None;
         }
-        let total: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| d as f64 * c as f64)
-            .sum();
+        let total: f64 = self.counts.iter().enumerate().map(|(d, &c)| d as f64 * c as f64).sum();
         Some(total / n as f64)
     }
 }
@@ -104,7 +99,7 @@ pub fn reuse_distance_histogram(
         } else {
             // Distinct items seen strictly after prev = marked positions in
             // (prev, pos) = total marked - marked in [0, prev].
-            let d = (marked - fen.prefix(prev as usize)) as usize - 0;
+            let d = (marked - fen.prefix(prev as usize)) as usize;
             // The item itself was marked at prev, inside [0, prev]; every
             // other marked position after prev is a distinct item.
             counts[d.min(cap)] += 1;
@@ -196,8 +191,7 @@ mod tests {
             }
             (counts, cold)
         }
-        let trace: Vec<u32> =
-            (0..500u32).map(|i| (i.wrapping_mul(2654435761)) % 37).collect();
+        let trace: Vec<u32> = (0..500u32).map(|i| (i.wrapping_mul(2654435761)) % 37).collect();
         let h = reuse_distance_histogram(&trace, 37, 16);
         let (counts, cold) = naive(&trace, 16);
         assert_eq!(h.counts, counts);

@@ -82,10 +82,9 @@ mod tests {
     fn row_major_kernel_is_numerically_identical() {
         let a = block_diagonal(60, (3, 7), 0.1, 4);
         let reference = spgemm_serial(&a, &a);
-        for clustering in [
-            fixed_clustering(&a, 4),
-            variable_clustering(&a, &ClusterConfig::default()),
-        ] {
+        for clustering in
+            [fixed_clustering(&a, 4), variable_clustering(&a, &ClusterConfig::default())]
+        {
             let cc = CsrCluster::from_csr(&a, &clustering);
             let got = clusterwise_row_major(&cc, &a);
             assert!(got.approx_eq(&reference, 1e-10));
@@ -114,9 +113,6 @@ mod tests {
     fn singleton_clusters_trace_equivalence() {
         let a = block_diagonal(20, (2, 4), 0.0, 1);
         let cc = CsrCluster::from_csr(&a, &Clustering { sizes: vec![1; 20] });
-        assert_eq!(
-            row_major_b_access_trace(&cc),
-            crate::trace::clusterwise_b_access_trace(&cc)
-        );
+        assert_eq!(row_major_b_access_trace(&cc), crate::trace::clusterwise_b_access_trace(&cc));
     }
 }

@@ -98,10 +98,9 @@ mod tests {
     #[test]
     fn hierarchical_stats_on_scattered_blocks() {
         let blocks = block_diagonal(128, (4, 4), 0.0, 5);
-        let shuffle = cw_sparse::Permutation::from_new_to_old(
-            (0..128u32).map(|i| (i * 37) % 128).collect(),
-        )
-        .unwrap();
+        let shuffle =
+            cw_sparse::Permutation::from_new_to_old((0..128u32).map(|i| (i * 37) % 128).collect())
+                .unwrap();
         let a = shuffle.permute_symmetric(&blocks);
         let h = hierarchical_clustering(&a, &ClusterConfig::default());
         let (cc, _) = h.build_symmetric(&a);

@@ -128,9 +128,7 @@ impl CsrCluster {
     /// Builds `CSR_Cluster` from a CSR matrix and a clustering of its
     /// consecutive rows.
     pub fn from_csr(a: &CsrMatrix, clustering: &Clustering) -> CsrCluster {
-        clustering
-            .validate(a.nrows)
-            .unwrap_or_else(|e| panic!("invalid clustering: {e}"));
+        clustering.validate(a.nrows).unwrap_or_else(|e| panic!("invalid clustering: {e}"));
         let nclusters = clustering.nclusters();
         let row_start = clustering.row_starts();
         let mut cluster_ptr = Vec::with_capacity(nclusters + 1);
@@ -142,8 +140,8 @@ impl CsrCluster {
         let mut vals: Vec<Value> = Vec::with_capacity(a.nnz() * 2);
         let mut scratch: Vec<(ColIdx, u8)> = Vec::new();
 
-        for c in 0..nclusters {
-            let base = row_start[c] as usize;
+        for (c, &start) in row_start.iter().enumerate().take(nclusters) {
+            let base = start as usize;
             let k = clustering.sizes[c] as usize;
             // Gather (col, member-bit) pairs from all member rows.
             scratch.clear();

@@ -66,12 +66,9 @@ pub fn hierarchical_clustering(a: &CsrMatrix, cfg: &ClusterConfig) -> Hierarchic
     let candidates = spgemm_topk(a, cfg.topk(), cfg.jacc_th);
 
     // Line 5: max-heap of candidates; line 6: singleton cluster ids.
-    let mut heap: BinaryHeap<HeapEntry> = candidates
-        .iter()
-        .map(|p| HeapEntry { score: p.jaccard, i: p.row_i, j: p.row_j })
-        .collect();
-    let mut seen: HashSet<(u32, u32)> =
-        candidates.iter().map(|p| (p.row_i, p.row_j)).collect();
+    let mut heap: BinaryHeap<HeapEntry> =
+        candidates.iter().map(|p| HeapEntry { score: p.jaccard, i: p.row_i, j: p.row_j }).collect();
+    let mut seen: HashSet<(u32, u32)> = candidates.iter().map(|p| (p.row_i, p.row_j)).collect();
     let mut uf = UnionFind::new(n);
 
     // Lines 8–23: greedy merging with stale-pair re-scoring.
@@ -108,12 +105,12 @@ pub fn hierarchical_clustering(a: &CsrMatrix, cfg: &ClusterConfig) -> Hierarchic
     }
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut sizes: Vec<u32> = Vec::new();
-    for root in 0..n {
-        if members[root].is_empty() {
+    for group in members.iter().take(n) {
+        if group.is_empty() {
             continue;
         }
-        sizes.push(members[root].len() as u32);
-        order.extend_from_slice(&members[root]);
+        sizes.push(group.len() as u32);
+        order.extend_from_slice(group);
     }
     let perm = Permutation::from_new_to_old(order)
         .expect("hierarchical clustering produced a non-permutation");
@@ -244,10 +241,9 @@ mod tests {
         // Scramble a perfect block matrix; hierarchical clustering should
         // regroup rows of the same block.
         let a = block_diagonal(32, (4, 4), 0.0, 3);
-        let shuffle = cw_sparse::Permutation::from_new_to_old(
-            (0..32u32).map(|i| (i * 13) % 32).collect(),
-        )
-        .unwrap();
+        let shuffle =
+            cw_sparse::Permutation::from_new_to_old((0..32u32).map(|i| (i * 13) % 32).collect())
+                .unwrap();
         let scrambled = shuffle.permute_rows(&a);
         let h = hierarchical_clustering(&scrambled, &ClusterConfig::default());
         let pa = h.perm.permute_rows(&scrambled);

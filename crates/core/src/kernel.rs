@@ -31,11 +31,7 @@ pub fn clusterwise_spgemm(ac: &CsrCluster, b: &CsrMatrix) -> CsrMatrix {
 }
 
 /// [`clusterwise_spgemm`] with explicit accumulator/parallelism options.
-pub fn clusterwise_spgemm_with(
-    ac: &CsrCluster,
-    b: &CsrMatrix,
-    opts: &SpGemmOptions,
-) -> CsrMatrix {
+pub fn clusterwise_spgemm_with(ac: &CsrCluster, b: &CsrMatrix, opts: &SpGemmOptions) -> CsrMatrix {
     assert_eq!(
         ac.ncols, b.nrows,
         "dimension mismatch: clustered A is {}x{}, B is {}x{}",
@@ -51,12 +47,7 @@ pub fn clusterwise_spgemm_with(
 /// Runs Alg. 1's inner loops for cluster `c`, scattering into one
 /// accumulator per member row.
 #[inline]
-fn accumulate_cluster(
-    ac: &CsrCluster,
-    b: &CsrMatrix,
-    c: usize,
-    accs: &mut [Box<dyn Accumulator>],
-) {
+fn accumulate_cluster(ac: &CsrCluster, b: &CsrMatrix, c: usize, accs: &mut [Box<dyn Accumulator>]) {
     let k = ac.cluster_size(c);
     let cols = ac.cluster_cols(c);
     let masks = ac.cluster_masks(c);
@@ -219,10 +210,7 @@ mod tests {
                     a,
                     &SpGemmOptions { acc, parallel, chunks_per_thread: 3 },
                 );
-                assert!(
-                    got.approx_eq(&expect, 1e-10),
-                    "mismatch acc={acc:?} parallel={parallel}"
-                );
+                assert!(got.approx_eq(&expect, 1e-10), "mismatch acc={acc:?} parallel={parallel}");
             }
         }
     }
@@ -318,10 +306,7 @@ mod tests {
     #[test]
     fn flops_per_cluster_counts_real_entries_only() {
         // Padding slots must not contribute flops.
-        let a = CsrMatrix::from_row_lists(
-            3,
-            vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]],
-        );
+        let a = CsrMatrix::from_row_lists(3, vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]]);
         let cc = CsrCluster::from_csr(&a, &Clustering { sizes: vec![3] });
         let b = CsrMatrix::identity(3);
         assert_eq!(flops_per_cluster(&cc, &b), vec![3]);

@@ -76,7 +76,8 @@ mod tests {
         // Variable-length clustering only merges similar rows, so its
         // padding stays bounded; ratio should stay below the fixed-8 ratio.
         let a = erdos_renyi(64, 6, 9);
-        let var = crate::CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default()));
+        let var =
+            crate::CsrCluster::from_csr(&a, &variable_clustering(&a, &ClusterConfig::default()));
         let fix = crate::CsrCluster::from_csr(&a, &fixed_clustering(&a, 8));
         let rv = memory_report(&var, &a);
         let rf = memory_report(&fix, &a);

@@ -30,11 +30,7 @@ mod tests {
     fn trace_is_union_columns() {
         let a = CsrMatrix::from_row_lists(
             4,
-            vec![
-                vec![(0, 1.0), (1, 1.0)],
-                vec![(0, 1.0), (2, 1.0)],
-                vec![(3, 1.0)],
-            ],
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (2, 1.0)], vec![(3, 1.0)]],
         );
         let cc = CsrCluster::from_csr(&a, &Clustering { sizes: vec![2, 1] });
         // Cluster 0 union = {0,1,2}; cluster 1 = {3}.

@@ -122,7 +122,9 @@ impl Dataset {
         let f = scale.factor();
         match self.spec {
             Spec::TriMesh { nx, ny, seed } => tri_mesh(nx * f, ny * f, true, seed),
-            Spec::PatchedMesh { nx, ny, patches, seed } => patched_mesh(nx * f, ny * f, patches, seed),
+            Spec::PatchedMesh { nx, ny, patches, seed } => {
+                patched_mesh(nx * f, ny * f, patches, seed)
+            }
             Spec::Poisson2d { nx, ny } => poisson2d(nx * f, ny * f),
             Spec::Stencil9 { nx, ny } => stencil9(nx * f, ny * f),
             Spec::Poisson3d { n } => {
@@ -152,9 +154,13 @@ impl Dataset {
                 let rest = (1.0 - a) / 3.0;
                 rmat(scale_exp + extra, ef, RmatParams { a, b: rest, c: rest }, seed)
             }
-            Spec::Road { nx, ny, keep, shortcuts, seed } => road(nx * f, ny * f, keep, shortcuts, seed),
+            Spec::Road { nx, ny, keep, shortcuts, seed } => {
+                road(nx * f, ny * f, keep, shortcuts, seed)
+            }
             Spec::Banded { n, bw, fill, seed } => banded(n * f * f, bw, fill, seed),
-            Spec::BlockDiag { n, lo, hi, bridge, seed } => block_diagonal(n * f * f, (lo, hi), bridge, seed),
+            Spec::BlockDiag { n, lo, hi, bridge, seed } => {
+                block_diagonal(n * f * f, (lo, hi), bridge, seed)
+            }
             Spec::Grouped { n, group, nnz, seed } => grouped_rows(n * f * f, group, nnz, seed),
             Spec::Kkt { nv, nc, band, g, seed } => kkt(nv * f * f, nc * f * f, band, g, seed),
             Spec::Er { n, deg, seed } => erdos_renyi(n * f * f, deg, seed),
@@ -179,16 +185,48 @@ impl Dataset {
 /// | NLR | `NLR-like` | triangulation |
 pub fn representative(_scale: Scale) -> Vec<Dataset> {
     vec![
-        Dataset { name: "cage12-like", category: Category::Banded, spec: Spec::Banded { n: 1600, bw: 12, fill: 0.45, seed: 12 } },
+        Dataset {
+            name: "cage12-like",
+            category: Category::Banded,
+            spec: Spec::Banded { n: 1600, bw: 12, fill: 0.45, seed: 12 },
+        },
         Dataset { name: "poi3D-like", category: Category::Mesh3d, spec: Spec::Poisson3d { n: 13 } },
         Dataset { name: "conf5-like", category: Category::Lattice, spec: Spec::Grid4d { dim: 7 } },
-        Dataset { name: "pdb1-like", category: Category::BlockDiag, spec: Spec::BlockDiag { n: 1500, lo: 6, hi: 8, bridge: 0.02, seed: 36 } },
-        Dataset { name: "rma10-like", category: Category::Mesh2d, spec: Spec::Aniso2d { nx: 48, ny: 40, seed: 7 } },
-        Dataset { name: "wb-like", category: Category::PowerLaw, spec: Spec::Rmat { scale_exp: 11, ef: 6, a: 0.6, seed: 8 } },
-        Dataset { name: "AS365-like", category: Category::Mesh2d, spec: Spec::PatchedMesh { nx: 24, ny: 20, patches: 4, seed: 365 } },
-        Dataset { name: "huget-like", category: Category::Mesh2d, spec: Spec::TriMesh { nx: 52, ny: 48, seed: 17 } },
-        Dataset { name: "M6-like", category: Category::Mesh2d, spec: Spec::TriMesh { nx: 48, ny: 44, seed: 6 } },
-        Dataset { name: "NLR-like", category: Category::Mesh2d, spec: Spec::TriMesh { nx: 60, ny: 36, seed: 11 } },
+        Dataset {
+            name: "pdb1-like",
+            category: Category::BlockDiag,
+            spec: Spec::BlockDiag { n: 1500, lo: 6, hi: 8, bridge: 0.02, seed: 36 },
+        },
+        Dataset {
+            name: "rma10-like",
+            category: Category::Mesh2d,
+            spec: Spec::Aniso2d { nx: 48, ny: 40, seed: 7 },
+        },
+        Dataset {
+            name: "wb-like",
+            category: Category::PowerLaw,
+            spec: Spec::Rmat { scale_exp: 11, ef: 6, a: 0.6, seed: 8 },
+        },
+        Dataset {
+            name: "AS365-like",
+            category: Category::Mesh2d,
+            spec: Spec::PatchedMesh { nx: 24, ny: 20, patches: 4, seed: 365 },
+        },
+        Dataset {
+            name: "huget-like",
+            category: Category::Mesh2d,
+            spec: Spec::TriMesh { nx: 52, ny: 48, seed: 17 },
+        },
+        Dataset {
+            name: "M6-like",
+            category: Category::Mesh2d,
+            spec: Spec::TriMesh { nx: 48, ny: 44, seed: 6 },
+        },
+        Dataset {
+            name: "NLR-like",
+            category: Category::Mesh2d,
+            spec: Spec::TriMesh { nx: 60, ny: 36, seed: 11 },
+        },
     ]
 }
 
@@ -196,16 +234,56 @@ pub fn representative(_scale: Scale) -> Vec<Dataset> {
 /// same families as [`representative`]).
 pub fn tall_skinny_suite(_scale: Scale) -> Vec<Dataset> {
     vec![
-        Dataset { name: "webbase-like", category: Category::PowerLaw, spec: Spec::Rmat { scale_exp: 11, ef: 5, a: 0.62, seed: 21 } },
-        Dataset { name: "patents-like", category: Category::PowerLaw, spec: Spec::Rmat { scale_exp: 11, ef: 4, a: 0.45, seed: 22 } },
-        Dataset { name: "AS365-like", category: Category::Mesh2d, spec: Spec::PatchedMesh { nx: 24, ny: 20, patches: 4, seed: 365 } },
-        Dataset { name: "LiveJournal-like", category: Category::PowerLaw, spec: Spec::Rmat { scale_exp: 11, ef: 8, a: 0.57, seed: 23 } },
-        Dataset { name: "europe-osm-like", category: Category::Road, spec: Spec::Road { nx: 50, ny: 44, keep: 0.92, shortcuts: 3, seed: 24 } },
-        Dataset { name: "GAP-road-like", category: Category::Road, spec: Spec::Road { nx: 48, ny: 48, keep: 0.88, shortcuts: 6, seed: 25 } },
-        Dataset { name: "kkt-power-like", category: Category::Kkt, spec: Spec::Kkt { nv: 1700, nc: 500, band: 3, g: 3, seed: 26 } },
-        Dataset { name: "M6-like", category: Category::Mesh2d, spec: Spec::TriMesh { nx: 48, ny: 44, seed: 6 } },
-        Dataset { name: "NLR-like", category: Category::Mesh2d, spec: Spec::TriMesh { nx: 60, ny: 36, seed: 11 } },
-        Dataset { name: "wikipedia-like", category: Category::PowerLaw, spec: Spec::Rmat { scale_exp: 11, ef: 7, a: 0.55, seed: 27 } },
+        Dataset {
+            name: "webbase-like",
+            category: Category::PowerLaw,
+            spec: Spec::Rmat { scale_exp: 11, ef: 5, a: 0.62, seed: 21 },
+        },
+        Dataset {
+            name: "patents-like",
+            category: Category::PowerLaw,
+            spec: Spec::Rmat { scale_exp: 11, ef: 4, a: 0.45, seed: 22 },
+        },
+        Dataset {
+            name: "AS365-like",
+            category: Category::Mesh2d,
+            spec: Spec::PatchedMesh { nx: 24, ny: 20, patches: 4, seed: 365 },
+        },
+        Dataset {
+            name: "LiveJournal-like",
+            category: Category::PowerLaw,
+            spec: Spec::Rmat { scale_exp: 11, ef: 8, a: 0.57, seed: 23 },
+        },
+        Dataset {
+            name: "europe-osm-like",
+            category: Category::Road,
+            spec: Spec::Road { nx: 50, ny: 44, keep: 0.92, shortcuts: 3, seed: 24 },
+        },
+        Dataset {
+            name: "GAP-road-like",
+            category: Category::Road,
+            spec: Spec::Road { nx: 48, ny: 48, keep: 0.88, shortcuts: 6, seed: 25 },
+        },
+        Dataset {
+            name: "kkt-power-like",
+            category: Category::Kkt,
+            spec: Spec::Kkt { nv: 1700, nc: 500, band: 3, g: 3, seed: 26 },
+        },
+        Dataset {
+            name: "M6-like",
+            category: Category::Mesh2d,
+            spec: Spec::TriMesh { nx: 48, ny: 44, seed: 6 },
+        },
+        Dataset {
+            name: "NLR-like",
+            category: Category::Mesh2d,
+            spec: Spec::TriMesh { nx: 60, ny: 36, seed: 11 },
+        },
+        Dataset {
+            name: "wikipedia-like",
+            category: Category::PowerLaw,
+            spec: Spec::Rmat { scale_exp: 11, ef: 7, a: 0.55, seed: 27 },
+        },
     ]
 }
 
@@ -216,9 +294,22 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     let mut v = representative(scale);
     // --- 2D meshes: 16 (DIMACS10 is the paper's biggest group) ---
     static MESH_NAMES: [&str; 16] = [
-        "mesh2d-00", "mesh2d-01", "mesh2d-02", "mesh2d-03", "mesh2d-04", "mesh2d-05",
-        "mesh2d-06", "mesh2d-07", "mesh2d-08", "mesh2d-09", "mesh2d-10", "mesh2d-11",
-        "mesh2d-12", "mesh2d-13", "mesh2d-14", "mesh2d-15",
+        "mesh2d-00",
+        "mesh2d-01",
+        "mesh2d-02",
+        "mesh2d-03",
+        "mesh2d-04",
+        "mesh2d-05",
+        "mesh2d-06",
+        "mesh2d-07",
+        "mesh2d-08",
+        "mesh2d-09",
+        "mesh2d-10",
+        "mesh2d-11",
+        "mesh2d-12",
+        "mesh2d-13",
+        "mesh2d-14",
+        "mesh2d-15",
     ];
     for (i, name) in MESH_NAMES.iter().enumerate() {
         let nx = 30 + 4 * (i % 7);
@@ -232,9 +323,18 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     // --- natural-order stencils: 12 (well-ordered inputs where reordering
     //     should NOT help much) ---
     static STENCIL_NAMES: [&str; 12] = [
-        "poisson2d-00", "poisson2d-01", "poisson2d-02", "poisson2d-03",
-        "stencil9-00", "stencil9-01", "stencil9-02", "stencil9-03",
-        "poisson3d-00", "poisson3d-01", "poisson3d-02", "poisson3d-03",
+        "poisson2d-00",
+        "poisson2d-01",
+        "poisson2d-02",
+        "poisson2d-03",
+        "stencil9-00",
+        "stencil9-01",
+        "stencil9-02",
+        "stencil9-03",
+        "poisson3d-00",
+        "poisson3d-01",
+        "poisson3d-02",
+        "poisson3d-03",
     ];
     for (i, name) in STENCIL_NAMES.iter().enumerate() {
         let spec = match i / 4 {
@@ -247,9 +347,8 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     }
     // --- power-law graphs: 16 (SNAP) ---
     static RMAT_NAMES: [&str; 16] = [
-        "rmat-00", "rmat-01", "rmat-02", "rmat-03", "rmat-04", "rmat-05", "rmat-06",
-        "rmat-07", "rmat-08", "rmat-09", "rmat-10", "rmat-11", "rmat-12", "rmat-13",
-        "rmat-14", "rmat-15",
+        "rmat-00", "rmat-01", "rmat-02", "rmat-03", "rmat-04", "rmat-05", "rmat-06", "rmat-07",
+        "rmat-08", "rmat-09", "rmat-10", "rmat-11", "rmat-12", "rmat-13", "rmat-14", "rmat-15",
     ];
     for (i, name) in RMAT_NAMES.iter().enumerate() {
         v.push(Dataset {
@@ -265,8 +364,8 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     }
     // --- road networks: 10 ---
     static ROAD_NAMES: [&str; 10] = [
-        "road-00", "road-01", "road-02", "road-03", "road-04", "road-05", "road-06",
-        "road-07", "road-08", "road-09",
+        "road-00", "road-01", "road-02", "road-03", "road-04", "road-05", "road-06", "road-07",
+        "road-08", "road-09",
     ];
     for (i, name) in ROAD_NAMES.iter().enumerate() {
         v.push(Dataset {
@@ -283,8 +382,16 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     }
     // --- banded: 10 ---
     static BAND_NAMES: [&str; 10] = [
-        "banded-00", "banded-01", "banded-02", "banded-03", "banded-04", "banded-05",
-        "banded-06", "banded-07", "banded-08", "banded-09",
+        "banded-00",
+        "banded-01",
+        "banded-02",
+        "banded-03",
+        "banded-04",
+        "banded-05",
+        "banded-06",
+        "banded-07",
+        "banded-08",
+        "banded-09",
     ];
     for (i, name) in BAND_NAMES.iter().enumerate() {
         v.push(Dataset {
@@ -300,8 +407,18 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     }
     // --- dense block diagonals: 12 (the fixed-length clustering sweet spot) ---
     static BLOCK_NAMES: [&str; 12] = [
-        "blocks-00", "blocks-01", "blocks-02", "blocks-03", "blocks-04", "blocks-05",
-        "blocks-06", "blocks-07", "blocks-08", "blocks-09", "blocks-10", "blocks-11",
+        "blocks-00",
+        "blocks-01",
+        "blocks-02",
+        "blocks-03",
+        "blocks-04",
+        "blocks-05",
+        "blocks-06",
+        "blocks-07",
+        "blocks-08",
+        "blocks-09",
+        "blocks-10",
+        "blocks-11",
     ];
     for (i, name) in BLOCK_NAMES.iter().enumerate() {
         v.push(Dataset {
@@ -318,8 +435,16 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
     }
     // --- grouped rows (supernodal): 10 ---
     static GROUP_NAMES: [&str; 10] = [
-        "grouped-00", "grouped-01", "grouped-02", "grouped-03", "grouped-04",
-        "grouped-05", "grouped-06", "grouped-07", "grouped-08", "grouped-09",
+        "grouped-00",
+        "grouped-01",
+        "grouped-02",
+        "grouped-03",
+        "grouped-04",
+        "grouped-05",
+        "grouped-06",
+        "grouped-07",
+        "grouped-08",
+        "grouped-09",
     ];
     for (i, name) in GROUP_NAMES.iter().enumerate() {
         v.push(Dataset {
@@ -334,9 +459,8 @@ pub fn corpus(scale: Scale) -> Vec<Dataset> {
         });
     }
     // --- KKT systems: 8 ---
-    static KKT_NAMES: [&str; 8] = [
-        "kkt-00", "kkt-01", "kkt-02", "kkt-03", "kkt-04", "kkt-05", "kkt-06", "kkt-07",
-    ];
+    static KKT_NAMES: [&str; 8] =
+        ["kkt-00", "kkt-01", "kkt-02", "kkt-03", "kkt-04", "kkt-05", "kkt-06", "kkt-07"];
     for (i, name) in KKT_NAMES.iter().enumerate() {
         v.push(Dataset {
             name,

@@ -1,0 +1,328 @@
+//! The plan cache: (fingerprint, plan) → prepared operand, with LRU
+//! eviction and verified hits.
+//!
+//! Reordering and cluster construction only pay off amortized over
+//! repeated multiplications (paper §4.5, Fig. 10). The cache closes the
+//! loop for *serving* workloads: repeated traffic on the same matrix hits
+//! the [`cw_sparse::fingerprint`] key and reuses the full
+//! [`PreparedMatrix`] — permutation, `CSR_Cluster`, everything — skipping
+//! preprocessing entirely. Entries are shared out as `Arc`s, so hits cost
+//! one hash lookup and a refcount bump.
+//!
+//! Two design points guard correctness:
+//!
+//! * **Keys carry the plan.** Auto-planned preparations and explicitly
+//!   forced plans occupy distinct entries ([`CacheKey`]), so an ablation
+//!   run with a forced plan can never hijack the planner's entry for
+//!   subsequent traffic (and vice versa).
+//! * **Hits are verified.** The sampled fingerprint is a cheap lookup key,
+//!   not an identity proof; [`PlanCache::get_or_prepare`] re-checks the
+//!   full-content checksum before trusting a hit, demoting collisions to
+//!   misses (counted in [`CacheStats::collisions`]).
+
+use crate::plan::PlanKnobs;
+use crate::prepared::PreparedMatrix;
+use cw_sparse::MatrixFingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the operand's fingerprint plus how its preparation was
+/// chosen — `None` for planner-chosen (auto) entries, `Some(knobs)` for
+/// caller-forced plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Sampled fingerprint of the operand.
+    pub fingerprint: MatrixFingerprint,
+    /// `None` = auto-planned; `Some` = forced with these knobs.
+    pub plan: Option<PlanKnobs>,
+}
+
+impl CacheKey {
+    /// Key for a planner-chosen preparation.
+    pub fn auto(fingerprint: MatrixFingerprint) -> CacheKey {
+        CacheKey { fingerprint, plan: None }
+    }
+
+    /// Key for a caller-forced plan (identified by its behavior knobs, so
+    /// plans differing only in `rationale` share an entry).
+    pub fn forced(fingerprint: MatrixFingerprint, knobs: PlanKnobs) -> CacheKey {
+        CacheKey { fingerprint, plan: Some(knobs) }
+    }
+}
+
+/// Hit/miss/eviction counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a prepared operand (verified, when a verifier
+    /// was supplied).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Fingerprint collisions: lookups whose entry failed checksum
+    /// verification (also counted under `misses`).
+    pub collisions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries inserted over the cache's lifetime.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU map from [`CacheKey`]s to prepared operands.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (Arc<PreparedMatrix>, u64)>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` prepared operands (`capacity == 0`
+    /// disables caching: every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache { capacity, tick: 0, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Number of cached operands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a prepared operand, refreshing its recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<PreparedMatrix>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((prepared, last_used)) => {
+                *last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(prepared))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a prepared operand under `key`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, prepared: Arc<PreparedMatrix>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the stalest entry (O(len) scan; capacities are small).
+            if let Some(&victim) =
+                self.entries.iter().min_by_key(|(_, (_, last_used))| *last_used).map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.entries.insert(key, (prepared, self.tick));
+    }
+
+    /// Looks up `key`; a hit must also pass `verify` (full-content check —
+    /// the fingerprint inside the key is only a sampled hash). Verification
+    /// failure counts as a collision + miss, drops the stale entry, and
+    /// falls through to `prepare`. Returns the operand and whether it was
+    /// a (verified) cache hit.
+    pub fn get_or_prepare(
+        &mut self,
+        key: CacheKey,
+        verify: impl FnOnce(&PreparedMatrix) -> bool,
+        prepare: impl FnOnce() -> PreparedMatrix,
+    ) -> (Arc<PreparedMatrix>, bool) {
+        if let Some(hit) = self.get(&key) {
+            if verify(&hit) {
+                return (hit, true);
+            }
+            // Fingerprint collision: the cached operand is not this matrix.
+            self.stats.hits -= 1;
+            self.stats.misses += 1;
+            self.stats.collisions += 1;
+            self.entries.remove(&key);
+        }
+        let prepared = Arc::new(prepare());
+        self.insert(key, Arc::clone(&prepared));
+        (prepared, false)
+    }
+
+    /// Drops every entry (stats are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use crate::prepared::PreparedMatrix;
+    use cw_core::ClusterConfig;
+    use cw_sparse::gen::grid::poisson2d;
+    use cw_sparse::{fingerprint, CsrMatrix};
+
+    fn prepared_for(a: &CsrMatrix) -> PreparedMatrix {
+        PreparedMatrix::prepare(a, Plan::baseline(), 7, &ClusterConfig::default())
+    }
+
+    fn auto_key(a: &CsrMatrix) -> CacheKey {
+        CacheKey::auto(fingerprint(a))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let a = poisson2d(8, 8);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(4);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert!(cache.get(&key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_or_prepare_prepares_once() {
+        let a = poisson2d(10, 10);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(4);
+        let mut calls = 0;
+        for _ in 0..5 {
+            let (_, hit) = cache.get_or_prepare(
+                key,
+                |_| true,
+                || {
+                    calls += 1;
+                    prepared_for(&a)
+                },
+            );
+            let _ = hit;
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().hits, 4);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn failed_verification_counts_a_collision_and_reprepares() {
+        let a = poisson2d(10, 10);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(4);
+        let (_, hit) = cache.get_or_prepare(key, |_| true, || prepared_for(&a));
+        assert!(!hit);
+        // Simulate a fingerprint collision: verification rejects the entry.
+        let mut calls = 0;
+        let (_, hit) = cache.get_or_prepare(
+            key,
+            |_| false,
+            || {
+                calls += 1;
+                prepared_for(&a)
+            },
+        );
+        assert!(!hit, "collision must not count as a hit");
+        assert_eq!(calls, 1, "collision must re-prepare");
+        let s = cache.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.hits, 0, "demoted hit must not be counted");
+        assert_eq!(s.misses, 2);
+        // The replacement entry is live and verifiable again.
+        let (_, hit) = cache.get_or_prepare(key, |_| true, || prepared_for(&a));
+        assert!(hit);
+    }
+
+    #[test]
+    fn auto_and_forced_entries_do_not_collide() {
+        let a = poisson2d(9, 9);
+        let fp = fingerprint(&a);
+        let mut cache = PlanCache::new(4);
+        cache.insert(CacheKey::auto(fp), Arc::new(prepared_for(&a)));
+        // A forced-plan lookup for the same matrix is a distinct key.
+        let forced = CacheKey::forced(fp, Plan::baseline().knobs());
+        assert!(cache.get(&forced).is_none());
+        assert!(cache.get(&CacheKey::auto(fp)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mats: Vec<CsrMatrix> = (3..7).map(|n| poisson2d(n, n)).collect();
+        let keys: Vec<_> = mats.iter().map(auto_key).collect();
+        let mut cache = PlanCache::new(2);
+        cache.insert(keys[0], Arc::new(prepared_for(&mats[0])));
+        cache.insert(keys[1], Arc::new(prepared_for(&mats[1])));
+        // Touch keys[0] so keys[1] is now the LRU victim.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2], Arc::new(prepared_for(&mats[2])));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry should be gone");
+        assert!(cache.get(&keys[0]).is_some(), "recently used entry survives");
+        assert!(cache.get(&keys[2]).is_some(), "new entry present");
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let a = poisson2d(6, 6);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(1);
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let a = poisson2d(5, 5);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(0);
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let a = poisson2d(5, 5);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(4);
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert!(cache.get(&key).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

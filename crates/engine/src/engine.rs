@@ -1,0 +1,282 @@
+//! The engine: the front door composing plan → prepare → execute with
+//! caching.
+
+use crate::cache::{CacheKey, CacheStats, PlanCache};
+use crate::plan::Plan;
+use crate::planner::Planner;
+use crate::prepared::PreparedMatrix;
+use crate::report::{ExecutionReport, StageTimings};
+use cw_sparse::{checksum, fingerprint, CsrMatrix};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of prepared operands the engine keeps cached.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Adaptive SpGEMM engine: profiles operands, plans pipelines, caches
+/// prepared matrices, and executes multiplies under rayon.
+#[derive(Debug)]
+pub struct Engine {
+    planner: Planner,
+    cache: PlanCache,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(Planner::default(), DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl Engine {
+    /// Engine with an explicit planner and cache capacity.
+    pub fn new(planner: Planner, cache_capacity: usize) -> Engine {
+        Engine { planner, cache: PlanCache::new(cache_capacity) }
+    }
+
+    /// The planner in use.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Cache counters (hits/misses/evictions/insertions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of prepared operands currently cached.
+    pub fn cached_operands(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached operands (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear()
+    }
+
+    /// Fingerprints `a` and returns its cached or freshly prepared operand
+    /// (planning on miss). Useful for warming the cache ahead of traffic.
+    pub fn prepare(&mut self, a: &CsrMatrix) -> Arc<PreparedMatrix> {
+        self.lookup_or_prepare(a, None).0
+    }
+
+    /// `C = A · b` through the adaptive pipeline. Returns the product (rows
+    /// in original order) and a report of the plan, cache outcome, and
+    /// per-stage timings.
+    pub fn multiply(&mut self, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, ExecutionReport) {
+        let (prepared, mut timings, cache_hit) = self.lookup_or_prepare(a, None);
+        let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
+        timings.kernel_seconds = kernel_seconds;
+        timings.postprocess_seconds = postprocess_seconds;
+        let report = ExecutionReport {
+            plan: prepared.plan,
+            fingerprint: prepared.fingerprint,
+            cache_hit,
+            timings,
+            output_nnz: c.nnz(),
+        };
+        (c, report)
+    }
+
+    /// Like [`Engine::multiply`] but with a caller-supplied plan instead of
+    /// the planner's choice (cross-validation, ablations, manual tuning).
+    /// Forced preparations are cached under their own `(matrix, plan)` key
+    /// — repeated calls with the same matrix and knobs skip preprocessing,
+    /// and forced entries never shadow the planner's entry for
+    /// [`Engine::multiply`] traffic (or vice versa).
+    pub fn multiply_planned(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        plan: Plan,
+    ) -> (CsrMatrix, ExecutionReport) {
+        let (prepared, mut timings, cache_hit) = self.lookup_or_prepare(a, Some(plan));
+        let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
+        timings.kernel_seconds = kernel_seconds;
+        timings.postprocess_seconds = postprocess_seconds;
+        let report = ExecutionReport {
+            plan: prepared.plan,
+            fingerprint: prepared.fingerprint,
+            cache_hit,
+            timings,
+            output_nnz: c.nnz(),
+        };
+        (c, report)
+    }
+
+    /// `A · bᵢ` for every right-hand side, preparing `a` exactly once. The
+    /// returned reports show the first multiply paying preprocessing and
+    /// the rest hitting the cache.
+    pub fn multiply_batch(
+        &mut self,
+        a: &CsrMatrix,
+        bs: &[CsrMatrix],
+    ) -> Vec<(CsrMatrix, ExecutionReport)> {
+        bs.iter().map(|b| self.multiply(a, b)).collect()
+    }
+
+    /// Cache lookup keyed by `(fingerprint, plan source)`; on miss, plans
+    /// (unless `forced` supplies one) and prepares. Auto-planned and
+    /// forced preparations occupy distinct cache entries, so neither can
+    /// hijack the other's. Hits are verified against the full-content
+    /// checksum (`O(nnz)`, negligible next to the multiply) before being
+    /// trusted — a sampled-fingerprint collision re-prepares instead of
+    /// returning a stale operand. Returns the operand, the preprocessing
+    /// timings attributable to *this* call (zeroed on hits — the work was
+    /// done earlier), and the hit flag.
+    fn lookup_or_prepare(
+        &mut self,
+        a: &CsrMatrix,
+        forced: Option<Plan>,
+    ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
+        let fp = fingerprint(a);
+        let key = match forced {
+            None => CacheKey::auto(fp),
+            Some(plan) => CacheKey::forced(fp, plan.knobs()),
+        };
+        let sum = checksum(a);
+        let planner = &self.planner;
+        let mut plan_seconds = 0.0;
+        let (prepared, hit) = self.cache.get_or_prepare(
+            key,
+            |cached| cached.checksum == sum,
+            || {
+                let t0 = Instant::now();
+                let plan = forced.unwrap_or_else(|| planner.plan(a));
+                plan_seconds = t0.elapsed().as_secs_f64();
+                PreparedMatrix::prepare(a, plan, planner.seed, &planner.cluster)
+            },
+        );
+        let timings = if hit {
+            StageTimings::default()
+        } else {
+            StageTimings {
+                plan_seconds,
+                reorder_seconds: prepared.timings.reorder_seconds,
+                cluster_seconds: prepared.timings.cluster_seconds,
+                ..StageTimings::default()
+            }
+        };
+        (prepared, timings, hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen;
+    use cw_spgemm::spgemm_serial;
+
+    #[test]
+    fn multiply_matches_baseline_and_reports() {
+        let a = gen::mesh::tri_mesh(10, 10, true, 2);
+        let mut engine = Engine::default();
+        let (c, report) = engine.multiply(&a, &a);
+        assert!(c.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        assert!(!report.cache_hit);
+        assert_eq!(report.output_nnz, c.nnz());
+        assert!(report.timings.kernel_seconds > 0.0);
+    }
+
+    #[test]
+    fn second_multiply_hits_cache_and_skips_preprocessing() {
+        let a = gen::mesh::tri_mesh(12, 12, true, 3);
+        let mut engine = Engine::default();
+        let (_, first) = engine.multiply(&a, &a);
+        let (c2, second) = engine.multiply(&a, &a);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(second.timings.preprocessing(), 0.0);
+        assert!(c2.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batch_prepares_once() {
+        let a = gen::banded::block_diagonal(64, (4, 8), 0.1, 1);
+        let bs: Vec<_> = (0..4).map(|s| gen::er::erdos_renyi(64, 3, s)).collect();
+        let mut engine = Engine::default();
+        let results = engine.multiply_batch(&a, &bs);
+        assert_eq!(results.len(), 4);
+        assert!(!results[0].1.cache_hit);
+        for (i, (c, rep)) in results.iter().enumerate() {
+            assert!(c.numerically_eq(&spgemm_serial(&a, &bs[i]), 1e-9), "rhs {i}");
+            if i > 0 {
+                assert!(rep.cache_hit, "rhs {i} should hit");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_and_auto_plans_cache_independently() {
+        let a = gen::grid::poisson2d(9, 9);
+        let mut engine = Engine::default();
+        let (_, auto_first) = engine.multiply(&a, &a);
+        assert!(!auto_first.cache_hit);
+
+        // A forced plan never reuses the auto entry: its first call misses.
+        let forced = Plan {
+            clustering: crate::plan::ClusteringStrategy::Fixed(4),
+            kernel: crate::plan::KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        let (c, rep) = engine.multiply_planned(&a, &a, forced);
+        assert!(c.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        assert!(!rep.cache_hit);
+
+        // The forced preparation is cached under its own key...
+        let (_, rep2) = engine.multiply_planned(&a, &a, forced);
+        assert!(rep2.cache_hit);
+        // ...identified by knobs, not by the rationale string.
+        let same_knobs = Plan { rationale: "different words, same pipeline", ..forced };
+        let (_, rep3) = engine.multiply_planned(&a, &a, same_knobs);
+        assert!(rep3.cache_hit, "rationale must not affect cache identity");
+
+        // And auto traffic still executes the planner's plan, not the
+        // forced ablation plan.
+        let (_, auto_again) = engine.multiply(&a, &a);
+        assert!(auto_again.cache_hit);
+        assert_eq!(auto_again.plan.knobs(), auto_first.plan.knobs());
+    }
+
+    #[test]
+    fn stale_cache_entry_is_detected_by_checksum() {
+        // Same dims/nnz, values edited at a position the sampled
+        // fingerprint may not cover: the checksum must still catch it.
+        let a = gen::er::erdos_renyi(400, 6, 11);
+        let mut b = a.clone();
+        let mid = b.vals.len() / 2 + 1;
+        b.vals[mid] += 0.5;
+        let mut engine = Engine::default();
+        let (_, first) = engine.multiply(&a, &a);
+        assert!(!first.cache_hit);
+        let (cb, rep_b) = engine.multiply(&b, &b);
+        // Whether or not the sampled fingerprints collide, the result must
+        // be b's product, never a stale a-product.
+        assert!(cb.numerically_eq(&spgemm_serial(&b, &b), 1e-9));
+        if rep_b.fingerprint == first.fingerprint {
+            assert!(!rep_b.cache_hit, "colliding fingerprint must be demoted");
+            assert_eq!(engine.cache_stats().collisions, 1);
+        }
+    }
+
+    #[test]
+    fn prepare_warms_the_cache() {
+        let a = gen::grid::poisson2d(10, 10);
+        let mut engine = Engine::default();
+        let _ = engine.prepare(&a);
+        let (_, rep) = engine.multiply(&a, &a);
+        assert!(rep.cache_hit);
+    }
+
+    #[test]
+    fn zero_capacity_engine_still_computes_correctly() {
+        let a = gen::grid::poisson2d(8, 8);
+        let mut engine = Engine::new(Planner::default(), 0);
+        let (c1, r1) = engine.multiply(&a, &a);
+        let (c2, r2) = engine.multiply(&a, &a);
+        assert!(!r1.cache_hit && !r2.cache_hit);
+        assert!(c1.numerically_eq(&c2, 0.0));
+    }
+}

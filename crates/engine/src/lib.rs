@@ -1,0 +1,65 @@
+//! **cw-engine** — the adaptive plan/prepare/execute front door for
+//! cluster-wise SpGEMM.
+//!
+//! The paper's techniques (row reordering, cluster-wise computation over
+//! `CSR_Cluster`) only pay off when their preprocessing cost is amortized
+//! across repeated multiplications (§4.5, Fig. 10), and its §5 future work
+//! asks for an automatic pipeline that "predicts the best choice of
+//! reordering combined with the best clustering scheme". This crate is that
+//! pipeline, split into four explicit stages:
+//!
+//! 1. **Plan** — [`Planner`] computes the structural [`Profile`]
+//!    (via `cw-reorder`'s advisor) and emits a [`Plan`]: reordering ×
+//!    clustering strategy × kernel (row-wise vs cluster-wise) ×
+//!    accumulator × parallelism knobs, with a human-readable rationale.
+//! 2. **Prepare** — [`PreparedMatrix::prepare`] materializes the plan
+//!    once: permutation computed and applied, `CSR_Cluster` built,
+//!    per-stage timings recorded. Prepared operands are reusable across
+//!    any number of right-hand sides and always return results in the
+//!    original row order.
+//! 3. **Cache** — [`PlanCache`] maps cheap matrix fingerprints
+//!    ([`cw_sparse::fingerprint`]) to prepared operands with LRU eviction
+//!    and hit/miss/eviction counters, so repeated traffic on the same
+//!    matrix skips preprocessing entirely.
+//! 4. **Execute** — [`Engine::multiply`] / [`Engine::multiply_batch`] run
+//!    the prepared kernel under rayon and return an [`ExecutionReport`]
+//!    with per-stage wall-clock timings.
+//!
+//! ```
+//! use cw_engine::Engine;
+//!
+//! let a = cw_sparse::gen::mesh::tri_mesh(16, 16, true, 42);
+//! let mut engine = Engine::default();
+//!
+//! // First multiply: profile → plan → prepare → execute.
+//! let (c1, first) = engine.multiply(&a, &a);
+//! assert!(!first.cache_hit);
+//!
+//! // Repeated traffic: fingerprint hits the plan cache, preprocessing
+//! // is skipped, only the kernel runs.
+//! let (c2, second) = engine.multiply(&a, &a);
+//! assert!(second.cache_hit);
+//! assert_eq!(second.timings.preprocessing(), 0.0);
+//! assert!(c1.numerically_eq(&c2, 0.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod plan;
+mod planner;
+mod prepared;
+mod report;
+
+pub use cache::{CacheKey, CacheStats, PlanCache};
+pub use engine::{Engine, DEFAULT_CACHE_CAPACITY};
+pub use plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};
+pub use planner::{Planner, DENSE_ACC_COL_THRESHOLD, PARALLEL_ROW_THRESHOLD};
+pub use prepared::{PrepTimings, PreparedMatrix};
+pub use report::{ExecutionReport, StageTimings};
+
+// Re-exported so engine callers can name advisor types without depending
+// on cw-reorder directly.
+pub use cw_reorder::advisor::{Profile, Suggestion};

@@ -1,0 +1,223 @@
+//! Execution plans: what the planner decides, what `prepare` materializes.
+//!
+//! A [`Plan`] is the explicit, inspectable record of every choice the
+//! paper's evaluation shows matters for SpGEMM throughput: the row
+//! reordering (Table 1), the clustering scheme (§3.2, Algs. 2–3), the
+//! kernel (row-wise Gustavson vs cluster-wise, Alg. 1), the sparse
+//! accumulator (Nagasaka et al.), and the parallelism knobs. Plans are
+//! plain data — building one does no work; [`crate::PreparedMatrix`]
+//! materializes it.
+
+use cw_reorder::advisor::Suggestion;
+use cw_reorder::Reordering;
+use cw_spgemm::rowwise::SpGemmOptions;
+use cw_spgemm::AccumulatorKind;
+
+/// Which multiply kernel executes the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// Row-wise Gustavson over plain CSR (the paper's baseline, §2.2).
+    RowWise,
+    /// Cluster-wise computation over `CSR_Cluster` (paper Alg. 1).
+    ClusterWise,
+}
+
+/// How the prepared operand's rows are grouped into clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusteringStrategy {
+    /// No clustering; the operand stays in CSR.
+    None,
+    /// Equal-size clusters of the given length (paper §3.2).
+    Fixed(usize),
+    /// Jaccard-threshold growing (paper Alg. 2).
+    Variable,
+    /// Similar-row discovery + union-find merging; also reorders
+    /// (paper Alg. 3).
+    Hierarchical,
+}
+
+/// A complete, explicit recipe for one SpGEMM pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Row reordering applied to the operand before clustering
+    /// (`None` = keep input order). Hierarchical clustering brings its own
+    /// reordering and composes with this one.
+    pub reorder: Option<Reordering>,
+    /// Row-grouping strategy.
+    pub clustering: ClusteringStrategy,
+    /// Kernel executing the multiply.
+    pub kernel: KernelChoice,
+    /// Sparse accumulator for both symbolic and numeric phases.
+    pub acc: AccumulatorKind,
+    /// Run the kernel's rayon-parallel path.
+    pub parallel: bool,
+    /// Row/cluster chunks per rayon thread (load-balance granularity).
+    pub chunks_per_thread: usize,
+    /// One-line explanation of why the planner chose this plan.
+    pub rationale: &'static str,
+}
+
+/// The behavior-determining subset of a [`Plan`] — everything except the
+/// `rationale` metadata. Two plans with equal knobs produce identical
+/// prepared operands, so this (not full `Plan` equality) is what cache
+/// identity and plan comparison should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKnobs {
+    /// See [`Plan::reorder`].
+    pub reorder: Option<Reordering>,
+    /// See [`Plan::clustering`].
+    pub clustering: ClusteringStrategy,
+    /// See [`Plan::kernel`].
+    pub kernel: KernelChoice,
+    /// See [`Plan::acc`].
+    pub acc: AccumulatorKind,
+    /// See [`Plan::parallel`].
+    pub parallel: bool,
+    /// See [`Plan::chunks_per_thread`].
+    pub chunks_per_thread: usize,
+}
+
+impl Plan {
+    /// The do-nothing plan: row-wise Gustavson on the matrix as given.
+    pub fn baseline() -> Plan {
+        Plan {
+            reorder: None,
+            clustering: ClusteringStrategy::None,
+            kernel: KernelChoice::RowWise,
+            acc: AccumulatorKind::Hash,
+            parallel: true,
+            chunks_per_thread: 8,
+            rationale: "baseline row-wise Gustavson",
+        }
+    }
+
+    /// Translates an advisor [`Suggestion`] into a plan skeleton
+    /// (accumulator/parallelism knobs keep baseline defaults; the planner
+    /// tunes them afterwards from the profile).
+    pub fn from_suggestion(suggestion: Suggestion) -> Plan {
+        match suggestion {
+            Suggestion::Reorder(r) => Plan {
+                reorder: Some(r),
+                rationale: "advisor: reorder rows, then row-wise SpGEMM",
+                ..Plan::baseline()
+            },
+            Suggestion::ClusterInPlace => Plan {
+                clustering: ClusteringStrategy::Variable,
+                kernel: KernelChoice::ClusterWise,
+                rationale: "advisor: rows already similar in order; cluster in place",
+                ..Plan::baseline()
+            },
+            Suggestion::Hierarchical => Plan {
+                clustering: ClusteringStrategy::Hierarchical,
+                kernel: KernelChoice::ClusterWise,
+                rationale: "advisor: hierarchical clustering (reorders and clusters)",
+                ..Plan::baseline()
+            },
+            Suggestion::LeaveOriginal => {
+                Plan { rationale: "advisor: no technique predicted to pay off", ..Plan::baseline() }
+            }
+        }
+    }
+
+    /// The behavior-determining knobs, excluding the `rationale` string.
+    pub fn knobs(&self) -> PlanKnobs {
+        PlanKnobs {
+            reorder: self.reorder,
+            clustering: self.clustering,
+            kernel: self.kernel,
+            acc: self.acc,
+            parallel: self.parallel,
+            chunks_per_thread: self.chunks_per_thread,
+        }
+    }
+
+    /// The kernel options this plan implies.
+    pub fn spgemm_options(&self) -> SpGemmOptions {
+        SpGemmOptions {
+            acc: self.acc,
+            parallel: self.parallel,
+            chunks_per_thread: self.chunks_per_thread,
+        }
+    }
+
+    /// True if materializing this plan does nontrivial preprocessing
+    /// (reordering or cluster construction) worth caching.
+    pub fn has_preprocessing(&self) -> bool {
+        self.reorder.is_some_and(|r| r != Reordering::Original)
+            || self.clustering != ClusteringStrategy::None
+    }
+
+    /// Compact human-readable form, e.g. `RCM → Variable → ClusterWise`.
+    pub fn describe(&self) -> String {
+        let reorder = match self.reorder {
+            None => "Original".to_string(),
+            Some(r) => r.name().to_string(),
+        };
+        let clustering = match self.clustering {
+            ClusteringStrategy::None => "NoClustering".to_string(),
+            ClusteringStrategy::Fixed(k) => format!("Fixed({k})"),
+            ClusteringStrategy::Variable => "Variable".to_string(),
+            ClusteringStrategy::Hierarchical => "Hierarchical".to_string(),
+        };
+        let kernel = match self.kernel {
+            KernelChoice::RowWise => "RowWise",
+            KernelChoice::ClusterWise => "ClusterWise",
+        };
+        format!("{reorder} → {clustering} → {kernel} [{:?}]", self.acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_plain_rowwise() {
+        let p = Plan::baseline();
+        assert_eq!(p.reorder, None);
+        assert_eq!(p.clustering, ClusteringStrategy::None);
+        assert_eq!(p.kernel, KernelChoice::RowWise);
+        assert!(!p.has_preprocessing());
+    }
+
+    #[test]
+    fn suggestions_map_to_expected_pipelines() {
+        let p = Plan::from_suggestion(Suggestion::Reorder(Reordering::Rcm));
+        assert_eq!(p.reorder, Some(Reordering::Rcm));
+        assert_eq!(p.kernel, KernelChoice::RowWise);
+        assert!(p.has_preprocessing());
+
+        let p = Plan::from_suggestion(Suggestion::ClusterInPlace);
+        assert_eq!(p.clustering, ClusteringStrategy::Variable);
+        assert_eq!(p.kernel, KernelChoice::ClusterWise);
+
+        let p = Plan::from_suggestion(Suggestion::Hierarchical);
+        assert_eq!(p.clustering, ClusteringStrategy::Hierarchical);
+        assert_eq!(p.kernel, KernelChoice::ClusterWise);
+
+        let p = Plan::from_suggestion(Suggestion::LeaveOriginal);
+        assert!(!p.has_preprocessing());
+    }
+
+    #[test]
+    fn original_reorder_is_not_preprocessing() {
+        let p = Plan { reorder: Some(Reordering::Original), ..Plan::baseline() };
+        assert!(!p.has_preprocessing());
+    }
+
+    #[test]
+    fn describe_names_all_stages() {
+        let p = Plan::from_suggestion(Suggestion::Reorder(Reordering::Degree));
+        let s = p.describe();
+        assert!(s.contains("Degree") && s.contains("RowWise"), "{s}");
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let p = Plan { acc: AccumulatorKind::Dense, parallel: false, ..Plan::baseline() };
+        let o = p.spgemm_options();
+        assert_eq!(o.acc, AccumulatorKind::Dense);
+        assert!(!o.parallel);
+        assert_eq!(o.chunks_per_thread, 8);
+    }
+}

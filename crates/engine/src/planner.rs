@@ -1,0 +1,178 @@
+//! The planner: structural profile → ranked, knob-tuned [`Plan`]s.
+//!
+//! Realizes the paper's §5 future-work item — "predict the best choice of
+//! reordering combined with the best clustering scheme" — as a deterministic
+//! pipeline over cheap statistics: [`cw_reorder::advisor`] supplies the
+//! ranked technique suggestions, and the planner turns each into a complete
+//! [`Plan`] with accumulator and parallelism knobs tuned to the matrix
+//! (dense accumulators for narrow outputs per Nagasaka et al.'s regime
+//! analysis; serial execution for matrices too small to amortize
+//! fork/join).
+
+use crate::plan::Plan;
+use cw_core::ClusterConfig;
+use cw_reorder::advisor::{advise, profile, Profile, Suggestion};
+use cw_reorder::Reordering;
+use cw_sparse::CsrMatrix;
+use cw_spgemm::AccumulatorKind;
+
+/// Matrices with fewer rows than this run the serial kernel path: the
+/// multiply finishes in microseconds and rayon fork/join would dominate.
+pub const PARALLEL_ROW_THRESHOLD: usize = 512;
+
+/// Output widths up to this use the dense (SPA) accumulator; beyond it the
+/// hash accumulator's `O(row nnz)` footprint wins (paper §2.2 / [40]).
+pub const DENSE_ACC_COL_THRESHOLD: usize = 4096;
+
+/// Turns matrices into executable [`Plan`]s.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Seed for randomized reorderings (identical seeds ⇒ identical plans
+    /// and identical prepared operands).
+    pub seed: u64,
+    /// Clustering parameters used by Variable/Hierarchical strategies.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner { seed: 0xC0FFEE, cluster: ClusterConfig::default() }
+    }
+}
+
+impl Planner {
+    /// Planner with an explicit seed.
+    pub fn with_seed(seed: u64) -> Planner {
+        Planner { seed, ..Planner::default() }
+    }
+
+    /// The structural profile driving plan decisions (delegates to
+    /// [`cw_reorder::advisor::profile`]).
+    pub fn profile(&self, a: &CsrMatrix) -> Profile {
+        profile(a)
+    }
+
+    /// The best plan for `a`: the advisor's top suggestion, knob-tuned.
+    pub fn plan(&self, a: &CsrMatrix) -> Plan {
+        self.plans_ranked(a).remove(0)
+    }
+
+    /// All advisor suggestions for `a` as tuned plans, best first. Never
+    /// empty; the baseline plan is appended as the final fallback.
+    pub fn plans_ranked(&self, a: &CsrMatrix) -> Vec<Plan> {
+        let mut out: Vec<Plan> =
+            advise(a).into_iter().map(|s| self.plan_for_suggestion(a, s)).collect();
+        out.push(self.tune(a, Plan::baseline()));
+        out
+    }
+
+    /// Tuned plan realizing one specific advisor [`Suggestion`] on `a`.
+    /// Reordering suggestions degrade to the baseline for non-square
+    /// matrices (the reordering study targets square operands).
+    pub fn plan_for_suggestion(&self, a: &CsrMatrix, suggestion: Suggestion) -> Plan {
+        let plan = match suggestion {
+            Suggestion::Reorder(_) if a.nrows != a.ncols => Plan {
+                rationale: "reordering suggested but operand is rectangular; baseline",
+                ..Plan::baseline()
+            },
+            s => Plan::from_suggestion(s),
+        };
+        self.tune(a, plan)
+    }
+
+    /// Applies accumulator and parallelism knobs from `a`'s shape.
+    fn tune(&self, a: &CsrMatrix, mut plan: Plan) -> Plan {
+        // The accumulator is sized by the *output* width, which for C = A·B
+        // is b.ncols — unknown at plan time. a.ncols is the contraction
+        // dimension and tracks output width for the square/`A²` workloads
+        // this planner targets; rectangular B simply falls back to hash.
+        plan.acc = if a.ncols <= DENSE_ACC_COL_THRESHOLD {
+            AccumulatorKind::Dense
+        } else {
+            AccumulatorKind::Hash
+        };
+        plan.parallel = a.nrows >= PARALLEL_ROW_THRESHOLD;
+        plan
+    }
+
+    /// Reordering permutation seed (exposed so prepared matrices stay
+    /// reproducible from the plan alone).
+    pub fn reorder_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Convenience: does the planner consider `r` worth computing for `a`?
+    /// (Used by tests to cross-check the advisor's decision surface.)
+    pub fn would_reorder_with(&self, a: &CsrMatrix, r: Reordering) -> bool {
+        advise(a).iter().any(|s| matches!(s, Suggestion::Reorder(x) if *x == r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ClusteringStrategy, KernelChoice};
+    use cw_sparse::gen;
+
+    #[test]
+    fn plans_ranked_is_never_empty_and_ends_with_baseline() {
+        let a = gen::grid::poisson2d(12, 12);
+        let plans = Planner::default().plans_ranked(&a);
+        assert!(!plans.is_empty());
+        let last = plans.last().unwrap();
+        assert_eq!(last.clustering, ClusteringStrategy::None);
+        assert_eq!(last.kernel, KernelChoice::RowWise);
+    }
+
+    #[test]
+    fn small_matrices_plan_serial_kernels() {
+        let a = gen::grid::poisson2d(8, 8); // 64 rows
+        let plan = Planner::default().plan(&a);
+        assert!(!plan.parallel);
+    }
+
+    #[test]
+    fn large_matrices_plan_parallel_kernels() {
+        let a = gen::grid::poisson2d(40, 40); // 1600 rows
+        let plan = Planner::default().plan(&a);
+        assert!(plan.parallel);
+    }
+
+    #[test]
+    fn narrow_outputs_use_dense_accumulator() {
+        let a = gen::grid::poisson2d(20, 20); // 400 cols
+        assert_eq!(Planner::default().plan(&a).acc, AccumulatorKind::Dense);
+    }
+
+    #[test]
+    fn wide_outputs_use_hash_accumulator() {
+        let a = gen::er::erdos_renyi(5000, 3, 1); // 5000 cols > threshold
+        assert_eq!(Planner::default().plan(&a).acc, AccumulatorKind::Hash);
+    }
+
+    #[test]
+    fn rectangular_matrices_never_plan_reordering() {
+        let a = gen::er::erdos_renyi_rect(300, 40, 4, 2);
+        let planner = Planner::default();
+        for s in [Suggestion::Reorder(Reordering::Rcm), Suggestion::Reorder(Reordering::Degree)] {
+            let plan = planner.plan_for_suggestion(&a, s);
+            assert_eq!(plan.reorder, None);
+        }
+    }
+
+    #[test]
+    fn grouped_rows_plan_cluster_in_place() {
+        let a = gen::banded::block_diagonal(128, (6, 8), 0.0, 1);
+        let plan = Planner::default().plan(&a);
+        assert_eq!(plan.clustering, ClusteringStrategy::Variable);
+        assert_eq!(plan.kernel, KernelChoice::ClusterWise);
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let a = gen::mesh::tri_mesh(16, 16, true, 3);
+        let p1 = Planner::default().plan(&a);
+        let p2 = Planner::default().plan(&a);
+        assert_eq!(p1, p2);
+    }
+}

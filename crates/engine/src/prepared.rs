@@ -1,0 +1,277 @@
+//! Prepared operands: a [`Plan`] materialized once, reusable across many
+//! multiplies.
+//!
+//! Preparation is the expensive part of the paper's pipeline — computing a
+//! reordering permutation and building the `CSR_Cluster` structure — and
+//! only pays off amortized over repeated multiplications (§4.5, Fig. 10).
+//! [`PreparedMatrix`] does that work exactly once and records how long each
+//! stage took; [`PreparedMatrix::multiply`] then runs only the kernel plus
+//! an `O(nnz(C))` row un-permutation, returning results in the *original*
+//! row order so callers never observe the internal reordering.
+
+use crate::plan::{ClusteringStrategy, KernelChoice, Plan};
+use cw_core::{
+    fixed_clustering, hierarchical_clustering, variable_clustering, ClusterConfig, CsrCluster,
+};
+use cw_reorder::Reordering;
+use cw_sparse::{checksum, fingerprint, CsrMatrix, MatrixFingerprint, Permutation};
+use cw_spgemm::rowwise::spgemm_with;
+use std::time::Instant;
+
+/// Wall-clock cost of each preparation stage, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrepTimings {
+    /// Computing the reordering permutation(s).
+    pub reorder_seconds: f64,
+    /// Building the clustering and the `CSR_Cluster` structure.
+    pub cluster_seconds: f64,
+}
+
+impl PrepTimings {
+    /// Total preprocessing seconds.
+    pub fn total(&self) -> f64 {
+        self.reorder_seconds + self.cluster_seconds
+    }
+}
+
+/// The materialized operand: either plain CSR or `CSR_Cluster`.
+#[derive(Debug, Clone)]
+enum Operand {
+    RowWise(CsrMatrix),
+    ClusterWise(CsrCluster),
+}
+
+/// An `A` operand with its plan fully materialized.
+#[derive(Debug, Clone)]
+pub struct PreparedMatrix {
+    /// The plan this preparation realizes.
+    pub plan: Plan,
+    /// Fingerprint of the *original* (pre-permutation) operand.
+    pub fingerprint: MatrixFingerprint,
+    /// Full-content checksum of the original operand
+    /// ([`cw_sparse::fingerprint::checksum`]); cache layers verify hits
+    /// against it before trusting the sampled fingerprint.
+    pub checksum: u64,
+    /// Stage timings recorded during preparation.
+    pub timings: PrepTimings,
+    /// Inverse of the total row permutation (`None` when no reordering was
+    /// applied); maps kernel output rows back to original row ids.
+    unpermute: Option<Permutation>,
+    operand: Operand,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl PreparedMatrix {
+    /// Materializes `plan` for `a`: computes and applies the row
+    /// permutation, builds the clustered format if the plan asks for one,
+    /// and records per-stage timings.
+    ///
+    /// `seed` feeds randomized reorderings; `cluster` parameterizes the
+    /// Variable/Hierarchical strategies.
+    pub fn prepare(a: &CsrMatrix, plan: Plan, seed: u64, cluster: &ClusterConfig) -> Self {
+        let fp = fingerprint(a);
+        let sum = checksum(a);
+        let mut timings = PrepTimings::default();
+
+        // Stage 1: explicit reordering (paper Table 1 algorithms).
+        let mut perm_total: Option<Permutation> = None;
+        let mut pa: Option<CsrMatrix> = None;
+        if let Some(r) = plan.reorder {
+            if r != Reordering::Original {
+                let t0 = Instant::now();
+                let p = r.compute(a, seed);
+                pa = Some(p.permute_rows(a));
+                perm_total = Some(p);
+                timings.reorder_seconds += t0.elapsed().as_secs_f64();
+            }
+        }
+
+        // Stage 2: clustering (paper §3.2 / Algs. 2–3). The kernel choice is
+        // authoritative: a row-wise plan never builds clusters, and a
+        // cluster-wise plan with `ClusteringStrategy::None` falls back to
+        // fixed-length grouping. Hierarchical clustering brings its own
+        // permutation, composed onto any explicit reordering.
+        let base = pa.unwrap_or_else(|| a.clone());
+        let operand = match plan.kernel {
+            KernelChoice::RowWise => Operand::RowWise(base),
+            KernelChoice::ClusterWise => {
+                let t0 = Instant::now();
+                let cc = match plan.clustering {
+                    ClusteringStrategy::None => {
+                        let c = fixed_clustering(&base, cluster.max_cluster.max(1));
+                        CsrCluster::from_csr(&base, &c)
+                    }
+                    ClusteringStrategy::Fixed(k) => {
+                        let c = fixed_clustering(&base, k.max(1));
+                        CsrCluster::from_csr(&base, &c)
+                    }
+                    ClusteringStrategy::Variable => {
+                        let c = variable_clustering(&base, cluster);
+                        CsrCluster::from_csr(&base, &c)
+                    }
+                    ClusteringStrategy::Hierarchical => {
+                        let h = hierarchical_clustering(&base, cluster);
+                        let hp = h.perm;
+                        let grouped = hp.permute_rows(&base);
+                        let cc = CsrCluster::from_csr(&grouped, &h.clustering);
+                        // Compose: the explicit reorder ran first, then `hp`.
+                        perm_total = Some(match perm_total.take() {
+                            None => hp,
+                            Some(first) => first.then(&hp),
+                        });
+                        cc
+                    }
+                };
+                timings.cluster_seconds += t0.elapsed().as_secs_f64();
+                Operand::ClusterWise(cc)
+            }
+        };
+
+        let unpermute = perm_total.map(|p| p.inverse());
+        PreparedMatrix {
+            plan,
+            fingerprint: fp,
+            checksum: sum,
+            timings,
+            unpermute,
+            operand,
+            nrows: a.nrows,
+            ncols: a.ncols,
+        }
+    }
+
+    /// Rows of the prepared operand (matches the original matrix).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the prepared operand (matches the original matrix).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// True when the kernel output needs row un-permutation.
+    pub fn is_reordered(&self) -> bool {
+        self.unpermute.is_some()
+    }
+
+    /// `C = A · b` using the materialized plan; rows of `C` come back in
+    /// the original (pre-reordering) order.
+    pub fn multiply(&self, b: &CsrMatrix) -> CsrMatrix {
+        self.multiply_timed(b).0
+    }
+
+    /// [`PreparedMatrix::multiply`] plus `(kernel, postprocess)` stage
+    /// seconds.
+    pub fn multiply_timed(&self, b: &CsrMatrix) -> (CsrMatrix, f64, f64) {
+        let opts = self.plan.spgemm_options();
+        let t0 = Instant::now();
+        let c = match &self.operand {
+            Operand::RowWise(pa) => spgemm_with(pa, b, &opts),
+            Operand::ClusterWise(cc) => cw_core::clusterwise_spgemm_with(cc, b, &opts),
+        };
+        let kernel_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let c = match &self.unpermute {
+            None => c,
+            Some(q) => q.permute_rows(&c),
+        };
+        let postprocess_seconds = t1.elapsed().as_secs_f64();
+        (c, kernel_seconds, postprocess_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use cw_sparse::gen;
+    use cw_spgemm::spgemm_serial;
+
+    fn check_plan(a: &CsrMatrix, plan: Plan) {
+        let prepared = PreparedMatrix::prepare(a, plan, 7, &ClusterConfig::default());
+        let got = prepared.multiply(a);
+        let expect = spgemm_serial(a, a);
+        assert!(got.numerically_eq(&expect, 1e-9), "plan {} output mismatch", plan.describe());
+    }
+
+    #[test]
+    fn rowwise_plain_matches_baseline() {
+        let a = gen::grid::poisson2d(9, 9);
+        check_plan(&a, Plan::baseline());
+    }
+
+    #[test]
+    fn reordered_rowwise_unpermutes_back() {
+        let a = gen::mesh::tri_mesh(10, 10, true, 4);
+        for r in [Reordering::Rcm, Reordering::Degree, Reordering::Random] {
+            check_plan(&a, Plan { reorder: Some(r), ..Plan::baseline() });
+        }
+    }
+
+    #[test]
+    fn clustered_plans_match_baseline() {
+        let a = gen::banded::block_diagonal(72, (4, 8), 0.1, 2);
+        for clustering in [
+            ClusteringStrategy::Fixed(8),
+            ClusteringStrategy::Variable,
+            ClusteringStrategy::Hierarchical,
+        ] {
+            check_plan(
+                &a,
+                Plan { clustering, kernel: KernelChoice::ClusterWise, ..Plan::baseline() },
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_composed_with_hierarchical_unpermutes_back() {
+        let a = gen::mesh::tri_mesh(9, 9, true, 1);
+        check_plan(
+            &a,
+            Plan {
+                reorder: Some(Reordering::Rcm),
+                clustering: ClusteringStrategy::Hierarchical,
+                kernel: KernelChoice::ClusterWise,
+                ..Plan::baseline()
+            },
+        );
+    }
+
+    #[test]
+    fn rectangular_b_supported() {
+        let a = gen::er::erdos_renyi(60, 5, 3);
+        let b = gen::er::erdos_renyi_rect(60, 14, 3, 4);
+        let plan = Plan { reorder: Some(Reordering::Degree), ..Plan::baseline() };
+        let prepared = PreparedMatrix::prepare(&a, plan, 7, &ClusterConfig::default());
+        let got = prepared.multiply(&b);
+        assert!(got.numerically_eq(&spgemm_serial(&a, &b), 1e-9));
+        assert_eq!(got.ncols, 14);
+    }
+
+    #[test]
+    fn original_reorder_skips_permutation_entirely() {
+        let a = gen::grid::poisson2d(6, 6);
+        let plan = Plan { reorder: Some(Reordering::Original), ..Plan::baseline() };
+        let prepared = PreparedMatrix::prepare(&a, plan, 7, &ClusterConfig::default());
+        assert!(!prepared.is_reordered());
+        assert_eq!(prepared.timings.total(), 0.0);
+    }
+
+    #[test]
+    fn timings_are_recorded_for_preprocessing_plans() {
+        let a = gen::mesh::tri_mesh(12, 12, true, 2);
+        let plan = Plan {
+            reorder: Some(Reordering::Rcm),
+            clustering: ClusteringStrategy::Variable,
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        let prepared = PreparedMatrix::prepare(&a, plan, 7, &ClusterConfig::default());
+        assert!(prepared.timings.reorder_seconds > 0.0);
+        assert!(prepared.timings.cluster_seconds > 0.0);
+        assert!(prepared.is_reordered());
+    }
+}

@@ -1,0 +1,98 @@
+//! Execution reports: what the engine did and where the time went.
+
+use crate::plan::Plan;
+use cw_sparse::MatrixFingerprint;
+
+/// Wall-clock seconds per pipeline stage for one multiply.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Structural profiling + plan selection (zero on cache hits).
+    pub plan_seconds: f64,
+    /// Reordering permutation computation (zero on cache hits).
+    pub reorder_seconds: f64,
+    /// Clustering + `CSR_Cluster` construction (zero on cache hits).
+    pub cluster_seconds: f64,
+    /// The SpGEMM kernel itself.
+    pub kernel_seconds: f64,
+    /// Row un-permutation of the output.
+    pub postprocess_seconds: f64,
+}
+
+impl StageTimings {
+    /// Total seconds across all stages.
+    pub fn total(&self) -> f64 {
+        self.plan_seconds
+            + self.reorder_seconds
+            + self.cluster_seconds
+            + self.kernel_seconds
+            + self.postprocess_seconds
+    }
+
+    /// Preprocessing seconds (everything except kernel + postprocess).
+    pub fn preprocessing(&self) -> f64 {
+        self.plan_seconds + self.reorder_seconds + self.cluster_seconds
+    }
+}
+
+/// Record of one [`crate::Engine::multiply`] call.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The plan that executed.
+    pub plan: Plan,
+    /// Fingerprint of the `A` operand.
+    pub fingerprint: MatrixFingerprint,
+    /// Whether the prepared operand came from the plan cache.
+    pub cache_hit: bool,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// `nnz(C)` of the produced output.
+    pub output_nnz: usize,
+}
+
+impl ExecutionReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | cache {} | prep {:.3}ms kernel {:.3}ms post {:.3}ms | nnz(C) {}",
+            self.plan.describe(),
+            if self.cache_hit { "hit" } else { "miss" },
+            self.timings.preprocessing() * 1e3,
+            self.timings.kernel_seconds * 1e3,
+            self.timings.postprocess_seconds * 1e3,
+            self.output_nnz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::fingerprint;
+    use cw_sparse::CsrMatrix;
+
+    #[test]
+    fn totals_add_up() {
+        let t = StageTimings {
+            plan_seconds: 0.1,
+            reorder_seconds: 0.2,
+            cluster_seconds: 0.3,
+            kernel_seconds: 0.4,
+            postprocess_seconds: 0.5,
+        };
+        assert!((t.total() - 1.5).abs() < 1e-12);
+        assert!((t.preprocessing() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_cache_state_and_plan() {
+        let rep = ExecutionReport {
+            plan: Plan::baseline(),
+            fingerprint: fingerprint(&CsrMatrix::identity(4)),
+            cache_hit: true,
+            timings: StageTimings::default(),
+            output_nnz: 42,
+        };
+        let s = rep.summary();
+        assert!(s.contains("hit") && s.contains("42"), "{s}");
+    }
+}

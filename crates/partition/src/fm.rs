@@ -77,9 +77,8 @@ pub fn fm_refine(g: &Graph, parts: &mut [u32], target0: u64, cfg: &FmConfig) -> 
         let mut locked = vec![false; n];
         // Max-heap of (gain, Reverse(vertex), version). Vertex tiebreak keeps
         // the pass deterministic.
-        let mut heap: BinaryHeap<(i64, Reverse<u32>, u32)> = (0..n)
-            .map(|v| (gains[v], Reverse(v as u32), 0u32))
-            .collect();
+        let mut heap: BinaryHeap<(i64, Reverse<u32>, u32)> =
+            (0..n).map(|v| (gains[v], Reverse(v as u32), 0u32)).collect();
 
         let feasible = |w: u64| w >= lo0 && w <= hi0;
         let balance_dist = |w: u64| (w as i64 - target0 as i64).unsigned_abs();

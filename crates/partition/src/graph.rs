@@ -98,8 +98,8 @@ impl Graph {
             let deepest = level[last];
             let mut best = last;
             let mut best_deg = usize::MAX;
-            for u in 0..self.nvtx() {
-                if level[u] == deepest {
+            for (u, &lvl) in level.iter().enumerate() {
+                if lvl == deepest {
                     let d = self.degree(u);
                     if d < best_deg {
                         best_deg = d;

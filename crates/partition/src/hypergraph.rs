@@ -103,7 +103,7 @@ impl Hypergraph {
         let mut pins = Vec::new();
         let mut net_wgt = Vec::new();
         let mut kept_net_of_old: Vec<u32> = vec![u32::MAX; self.nnets()];
-        for n in 0..self.nnets() {
+        for (n, kept) in kept_net_of_old.iter_mut().enumerate() {
             let start = pins.len();
             for &p in self.net_pins(n) {
                 let lp = g2l[p as usize];
@@ -112,7 +112,7 @@ impl Hypergraph {
                 }
             }
             if pins.len() - start >= 2 {
-                kept_net_of_old[n] = net_wgt.len() as u32;
+                *kept = net_wgt.len() as u32;
                 net_wgt.push(self.net_wgt[n]);
                 net_ptr.push(pins.len());
             } else {
@@ -267,9 +267,9 @@ pub fn fm_refine_hg(hg: &Hypergraph, parts: &mut [u32], target0: u64, max_passes
     let hi0 = hi0.min(total.saturating_sub(u64::from(target0 < total))).max(lo0);
     // Pin counts per net per side.
     let mut cnt = vec![[0u32; 2]; hg.nnets()];
-    for nt in 0..hg.nnets() {
+    for (nt, c) in cnt.iter_mut().enumerate() {
         for &p in hg.net_pins(nt) {
-            cnt[nt][parts[p as usize] as usize] += 1;
+            c[parts[p as usize] as usize] += 1;
         }
     }
     let cut_now = |cnt: &[[u32; 2]]| -> i64 {
@@ -317,21 +317,25 @@ pub fn fm_refine_hg(hg: &Hypergraph, parts: &mut [u32], target0: u64, max_passes
             let t = 1 - s;
             let vw = hg.vwgt[v];
             let new_w0 = if s == 0 { cur_w0 - vw } else { cur_w0 + vw };
-            let legal = if feasible(cur_w0) { feasible(new_w0) } else { bdist(new_w0) < bdist(cur_w0) };
+            let legal =
+                if feasible(cur_w0) { feasible(new_w0) } else { bdist(new_w0) < bdist(cur_w0) };
             if !legal {
                 locked[v] = true;
                 continue;
             }
             // Gain updates around the move (classic FM pin-count rules).
-            let bump =
-                |u: usize, delta: i64, gains: &mut Vec<i64>, version: &mut Vec<u32>,
-                 heap: &mut BinaryHeap<(i64, Reverse<u32>, u32)>, locked: &[bool]| {
-                    if !locked[u] {
-                        gains[u] += delta;
-                        version[u] += 1;
-                        heap.push((gains[u], Reverse(u as u32), version[u]));
-                    }
-                };
+            let bump = |u: usize,
+                        delta: i64,
+                        gains: &mut Vec<i64>,
+                        version: &mut Vec<u32>,
+                        heap: &mut BinaryHeap<(i64, Reverse<u32>, u32)>,
+                        locked: &[bool]| {
+                if !locked[u] {
+                    gains[u] += delta;
+                    version[u] += 1;
+                    heap.push((gains[u], Reverse(u as u32), version[u]));
+                }
+            };
             for &nt in hg.vertex_nets(v) {
                 let nt = nt as usize;
                 let w = hg.net_wgt[nt] as i64;
@@ -431,12 +435,19 @@ pub fn bisect_hypergraph(hg: &Hypergraph, frac0: f64, seed: u64) -> (Vec<u32>, u
     }
     let coarsest = levels.last().unwrap();
     let target0 = (coarsest.total_vwgt() as f64 * frac0).round() as u64;
-    // Initial candidates: random balanced assignments refined by FM.
+    // Initial candidates refined by FM: one connectivity-grown assignment
+    // (finds natural component/cluster boundaries, e.g. zero-cut splits of
+    // disconnected hypergraphs, independent of the RNG stream) plus random
+    // balanced restarts.
     let mut best: Option<(Vec<u32>, u64)> = None;
-    for _try in 0..4 {
-        let mut parts = random_balanced(coarsest, target0, &mut rng);
+    for try_idx in 0..4 {
+        let mut parts = if try_idx == 0 {
+            grown_balanced(coarsest, target0, &mut rng)
+        } else {
+            random_balanced(coarsest, target0, &mut rng)
+        };
         let cut = fm_refine_hg(coarsest, &mut parts, target0, 8);
-        if best.as_ref().map_or(true, |&(_, bc)| cut < bc) {
+        if best.as_ref().is_none_or(|&(_, bc)| cut < bc) {
             best = Some((parts, cut));
         }
     }
@@ -453,6 +464,53 @@ pub fn bisect_hypergraph(hg: &Hypergraph, frac0: f64, seed: u64) -> (Vec<u32>, u
         parts = fine_parts;
     }
     (parts, cut)
+}
+
+/// Graph-growing initial bisection (METIS/PaToH-style): BFS over the
+/// vertex–net–vertex adjacency from a random start, moving visited vertices
+/// into part 0 until it reaches `target0` weight. Restarts from a fresh
+/// random unvisited vertex when a connected component is exhausted, so
+/// disconnected hypergraphs split along component boundaries with zero cut.
+fn grown_balanced(hg: &Hypergraph, target0: u64, rng: &mut SmallRng) -> Vec<u32> {
+    const NET_SCAN_CAP: usize = 256; // skip huge nets to stay near-linear
+    let n = hg.nvtx();
+    let mut parts = vec![1u32; n];
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut w0 = 0u64;
+    let mut assigned = 0usize;
+    while w0 < target0 && assigned < n {
+        let v = match queue.pop_front() {
+            Some(v) => v as usize,
+            None => {
+                // Next component: a random unvisited vertex.
+                let mut v = rng.gen_range(0..n);
+                while visited[v] {
+                    v = (v + 1) % n;
+                }
+                v
+            }
+        };
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        parts[v] = 0;
+        w0 += hg.vwgt[v];
+        assigned += 1;
+        for &nt in hg.vertex_nets(v) {
+            let pins = hg.net_pins(nt as usize);
+            if pins.len() > NET_SCAN_CAP {
+                continue;
+            }
+            for &u in pins {
+                if !visited[u as usize] {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    parts
 }
 
 fn random_balanced(hg: &Hypergraph, target0: u64, rng: &mut SmallRng) -> Vec<u32> {

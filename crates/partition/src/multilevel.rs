@@ -60,8 +60,8 @@ pub fn contract(g: &Graph, match_of: &[u32]) -> (Graph, Vec<u32>) {
     let nc = nc as usize;
     // Gather fine members per coarse vertex (1 or 2 each).
     let mut members: Vec<Vec<u32>> = vec![Vec::with_capacity(2); nc];
-    for v in 0..n {
-        let c = cmap[v] as usize;
+    for (v, &cm) in cmap.iter().enumerate().take(n) {
+        let c = cm as usize;
         if members[c].last() != Some(&(v as u32)) {
             members[c].push(v as u32);
         }
@@ -200,7 +200,7 @@ pub fn bisect_graph_with(
     for _ in 0..opts.init_tries.max(1) {
         let mut parts = greedy_growing(coarsest, target0, &mut rng);
         let cut = fm_refine(coarsest, &mut parts, target0, &opts.fm);
-        if best_parts.as_ref().map_or(true, |&(_, bc)| cut < bc) {
+        if best_parts.as_ref().is_none_or(|&(_, bc)| cut < bc) {
             best_parts = Some((parts, cut));
         }
     }

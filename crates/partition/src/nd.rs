@@ -54,16 +54,10 @@ fn nd_rec(root: &Graph, vertices: Vec<u32>, leaf_size: usize, seed: u64, out: &m
     let (parts, cut) = bisect_graph(&sub, 0.5, seed);
     if cut == 0 {
         // Disconnected: order side 0 then side 1 with no separator.
-        let side0: Vec<u32> = map
-            .iter()
-            .zip(&parts)
-            .filter_map(|(&v, &p)| (p == 0).then_some(v))
-            .collect();
-        let side1: Vec<u32> = map
-            .iter()
-            .zip(&parts)
-            .filter_map(|(&v, &p)| (p == 1).then_some(v))
-            .collect();
+        let side0: Vec<u32> =
+            map.iter().zip(&parts).filter_map(|(&v, &p)| (p == 0).then_some(v)).collect();
+        let side1: Vec<u32> =
+            map.iter().zip(&parts).filter_map(|(&v, &p)| (p == 1).then_some(v)).collect();
         if side0.is_empty() || side1.is_empty() {
             // Degenerate bisection; fall back to degree order to guarantee
             // progress.

@@ -53,11 +53,7 @@ pub fn profile(a: &CsrMatrix) -> Profile {
     let mean = s.avg_row_nnz.max(1e-9);
     Profile {
         degree_skew: s.max_row_nnz as f64 / mean,
-        relative_bandwidth: if s.nrows == 0 {
-            0.0
-        } else {
-            s.bandwidth as f64 / s.nrows as f64
-        },
+        relative_bandwidth: if s.nrows == 0 { 0.0 } else { s.bandwidth as f64 / s.nrows as f64 },
         consecutive_jaccard: s.avg_consecutive_jaccard,
         avg_row_nnz: s.avg_row_nnz,
     }
@@ -135,10 +131,7 @@ mod tests {
         let a = gen::rmat::rmat(10, 8, gen::rmat::RmatParams::default(), 3);
         let first = advise(&a)[0];
         assert!(
-            matches!(
-                first,
-                Suggestion::Reorder(Reordering::Degree | Reordering::SlashBurn)
-            ),
+            matches!(first, Suggestion::Reorder(Reordering::Degree | Reordering::SlashBurn)),
             "{first:?}"
         );
     }

@@ -29,7 +29,9 @@ pub mod rabbit;
 pub mod rcm;
 pub mod slashburn;
 
-use cw_partition::{nested_dissection_order, partition_graph, partition_hypergraph, Graph, Hypergraph};
+use cw_partition::{
+    nested_dissection_order, partition_graph, partition_hypergraph, Graph, Hypergraph,
+};
 use cw_sparse::{CsrMatrix, Permutation};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

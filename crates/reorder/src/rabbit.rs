@@ -87,8 +87,8 @@ pub fn rabbit_order(a: &CsrMatrix) -> Permutation {
     // order, parent first. Iterative to handle deep chains.
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut stack: Vec<u32> = Vec::new();
-    for root in 0..n {
-        if !alive[root] {
+    for (root, &is_alive) in alive.iter().enumerate().take(n) {
+        if !is_alive {
             continue;
         }
         stack.push(root as u32);
@@ -126,8 +126,7 @@ mod tests {
         let scrambled = shuffle.permute_symmetric(&a);
         let p = rabbit_order(&scrambled);
         // Identify which original block each new position belongs to.
-        let block_of_scrambled: Vec<usize> =
-            (0..24).map(|new| shuffle.old_of(new) / 12).collect();
+        let block_of_scrambled: Vec<usize> = (0..24).map(|new| shuffle.old_of(new) / 12).collect();
         let seq: Vec<usize> = (0..24).map(|new| block_of_scrambled[p.old_of(new)]).collect();
         // Count transitions between blocks; contiguous grouping = 1.
         let transitions = seq.windows(2).filter(|w| w[0] != w[1]).count();

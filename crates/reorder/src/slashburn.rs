@@ -83,8 +83,7 @@ pub fn slashburn_order(a: &CsrMatrix, k: usize) -> Permutation {
             .unwrap();
         // Spokes ordered by ascending component size (paper's convention),
         // members by descending degree within each.
-        let mut spoke_ids: Vec<usize> =
-            (0..comps.len()).filter(|&i| i != giant).collect();
+        let mut spoke_ids: Vec<usize> = (0..comps.len()).filter(|&i| i != giant).collect();
         spoke_ids.sort_by_key(|&i| (comps[i].len(), i));
         for i in spoke_ids {
             let mut members = std::mem::take(&mut comps[i]);
@@ -138,10 +137,7 @@ mod tests {
         let head = (a.nrows / 100).max(2);
         for new in 0..head {
             let d = a.row_nnz(p.old_of(new));
-            assert!(
-                d as f64 > avg_deg,
-                "position {new} holds degree {d} < avg {avg_deg}"
-            );
+            assert!(d as f64 > avg_deg, "position {new} holds degree {d} < avg {avg_deg}");
         }
     }
 

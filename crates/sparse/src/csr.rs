@@ -25,7 +25,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Creates an empty `nrows × ncols` matrix with no nonzeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -134,10 +140,7 @@ impl CsrMatrix {
     /// Iterator over `(row, col, value)` of all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
         (0..self.nrows).flat_map(move |i| {
-            self.row_cols(i)
-                .iter()
-                .zip(self.row_vals(i))
-                .map(move |(&c, &v)| (i, c as usize, v))
+            self.row_cols(i).iter().zip(self.row_vals(i)).map(move |(&c, &v)| (i, c as usize, v))
         })
     }
 
@@ -546,7 +549,13 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_row_ptr() {
-        let m = CsrMatrix { nrows: 2, ncols: 2, row_ptr: vec![0, 1], col_idx: vec![0], vals: vec![1.0] };
+        let m = CsrMatrix {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1],
+            col_idx: vec![0],
+            vals: vec![1.0],
+        };
         assert!(matches!(m.validate(), Err(SparseError::MalformedRowPtr(_))));
     }
 

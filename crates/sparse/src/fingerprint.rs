@@ -1,0 +1,187 @@
+//! Cheap matrix fingerprints for plan caching.
+//!
+//! A [`MatrixFingerprint`] identifies a matrix by its dimensions, nonzero
+//! count, and a hash over a deterministic *sample* of its structure and
+//! values. Computing one costs `O(samples)` — independent of `nnz` — so an
+//! engine front door can fingerprint every incoming matrix and skip
+//! preprocessing (reordering, cluster construction) when the same matrix
+//! was already prepared.
+//!
+//! The hash samples `row_ptr`, `col_idx`, and `vals` at evenly spaced
+//! positions, so two matrices that differ only at unsampled positions can
+//! collide. That trade-off is deliberate: the intended workload is
+//! *repeated multiplication with the same operand* (the paper's
+//! amortization argument, §4.5), where the fingerprint is exact. Callers
+//! needing certainty can raise the sample count or compare matrices
+//! directly on hit.
+
+use crate::CsrMatrix;
+
+/// Default number of positions sampled from each array.
+pub const DEFAULT_SAMPLES: usize = 256;
+
+/// A compact, hashable identity for a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixFingerprint {
+    /// Row count.
+    pub nrows: u64,
+    /// Column count.
+    pub ncols: u64,
+    /// Nonzero count.
+    pub nnz: u64,
+    /// Hash of sampled structure (`row_ptr`, `col_idx`) and value bits.
+    pub structure_hash: u64,
+}
+
+/// SplitMix64 finalizer — strong bit avalanche for cheap mixing.
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    let mut z = h ^ x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fingerprints `a` with [`DEFAULT_SAMPLES`] samples per array.
+pub fn fingerprint(a: &CsrMatrix) -> MatrixFingerprint {
+    fingerprint_with_samples(a, DEFAULT_SAMPLES)
+}
+
+/// Fingerprints `a`, sampling up to `samples` evenly spaced positions from
+/// each of `row_ptr`, `col_idx`, and `vals`. `samples == 0` hashes
+/// dimensions and nnz only.
+pub fn fingerprint_with_samples(a: &CsrMatrix, samples: usize) -> MatrixFingerprint {
+    let mut h = 0xA076_1D64_78BD_642Fu64; // xxh64 prime seed
+    h = mix(h, a.nrows as u64);
+    h = mix(h, a.ncols as u64);
+    h = mix(h, a.nnz() as u64);
+    h = sample_into(h, &a.row_ptr, samples, |&p| p as u64);
+    h = sample_into(h, &a.col_idx, samples, |&c| c as u64);
+    h = sample_into(h, &a.vals, samples, |&v| v.to_bits());
+    MatrixFingerprint {
+        nrows: a.nrows as u64,
+        ncols: a.ncols as u64,
+        nnz: a.nnz() as u64,
+        structure_hash: h,
+    }
+}
+
+/// Full-content checksum over dimensions, `row_ptr`, `col_idx`, and value
+/// bits — `O(nnz)`, collision-resistant in practice where the sampled
+/// [`fingerprint`] is not. Cache layers use the sampled fingerprint as the
+/// lookup key and this checksum to *verify* hits before trusting them
+/// (hashing at memory bandwidth is negligible next to the SpGEMM a hit
+/// gates).
+pub fn checksum(a: &CsrMatrix) -> u64 {
+    let mut h = 0x27D4_EB2F_1656_67C5u64;
+    h = mix(h, a.nrows as u64);
+    h = mix(h, a.ncols as u64);
+    for &p in &a.row_ptr {
+        h = mix(h, p as u64);
+    }
+    for &c in &a.col_idx {
+        h = mix(h, c as u64);
+    }
+    for &v in &a.vals {
+        h = mix(h, v.to_bits());
+    }
+    h
+}
+
+/// Hashes up to `samples` evenly spaced elements of `xs` (always including
+/// the first and last) into `h`.
+fn sample_into<T>(mut h: u64, xs: &[T], samples: usize, key: impl Fn(&T) -> u64) -> u64 {
+    let n = xs.len();
+    if n == 0 || samples == 0 {
+        return mix(h, n as u64);
+    }
+    let take = samples.min(n);
+    for k in 0..take {
+        // Evenly spaced indices over [0, n): floor(k * n / take).
+        let idx = k * n / take;
+        h = mix(h, key(&xs[idx]));
+    }
+    // Always fold in the final element so tail edits are visible.
+    h = mix(h, key(&xs[n - 1]));
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er::erdos_renyi;
+    use crate::gen::grid::poisson2d;
+
+    #[test]
+    fn identical_matrices_share_fingerprints() {
+        let a = poisson2d(20, 20);
+        let b = poisson2d(20, 20);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn different_structure_changes_hash() {
+        let a = erdos_renyi(200, 5, 1);
+        let b = erdos_renyi(200, 5, 2);
+        let fa = fingerprint(&a);
+        let fb = fingerprint(&b);
+        assert_eq!(fa.nrows, fb.nrows);
+        assert_ne!(fa.structure_hash, fb.structure_hash);
+    }
+
+    #[test]
+    fn dimension_and_nnz_always_distinguish() {
+        let a = poisson2d(10, 10);
+        let b = poisson2d(10, 11);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn value_edits_at_sampled_positions_change_hash() {
+        let a = poisson2d(16, 16);
+        let mut b = a.clone();
+        // First value is always sampled.
+        b.vals[0] += 1.0;
+        assert_ne!(fingerprint(&a).structure_hash, fingerprint(&b).structure_hash);
+        let mut c = a.clone();
+        let last = c.vals.len() - 1;
+        c.vals[last] += 1.0;
+        assert_ne!(fingerprint(&a).structure_hash, fingerprint(&c).structure_hash);
+    }
+
+    #[test]
+    fn zero_samples_still_capture_shape() {
+        let a = poisson2d(8, 8);
+        let f = fingerprint_with_samples(&a, 0);
+        assert_eq!(f.nrows, 64);
+        assert_eq!(f.nnz, a.nnz() as u64);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = erdos_renyi(300, 6, 9);
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_eq!(fingerprint_with_samples(&a, 64), fingerprint_with_samples(&a, 64));
+    }
+
+    #[test]
+    fn checksum_sees_every_position() {
+        // Unlike the sampled fingerprint, the checksum must catch an edit
+        // at *any* value position.
+        let a = erdos_renyi(40, 8, 5);
+        let base = checksum(&a);
+        for idx in 0..a.vals.len() {
+            let mut b = a.clone();
+            b.vals[idx] += 1.0;
+            assert_ne!(checksum(&b), base, "edit at {idx} missed");
+        }
+        assert_eq!(checksum(&a), base, "checksum must be deterministic");
+    }
+
+    #[test]
+    fn empty_matrix_fingerprints() {
+        let a = CsrMatrix::zeros(0, 0);
+        let f = fingerprint(&a);
+        assert_eq!(f.nnz, 0);
+        assert_eq!(f, fingerprint(&a));
+    }
+}

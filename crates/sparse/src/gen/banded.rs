@@ -33,12 +33,7 @@ pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
 /// With `bridge = 0` consecutive rows inside a block share an identical
 /// column pattern — the ideal case for CSR_Cluster (Jaccard 1.0 inside
 /// blocks, 0.0 across).
-pub fn block_diagonal(
-    n: usize,
-    block_range: (usize, usize),
-    bridge: f64,
-    seed: u64,
-) -> CsrMatrix {
+pub fn block_diagonal(n: usize, block_range: (usize, usize), bridge: f64, seed: u64) -> CsrMatrix {
     assert!(block_range.0 >= 1 && block_range.0 <= block_range.1);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut coo = CooMatrix::with_capacity(n, n, n * block_range.1);
@@ -144,8 +139,9 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         assert!(banded(30, 2, 0.5, 7).approx_eq(&banded(30, 2, 0.5, 7), 0.0));
-        assert!(block_diagonal(30, (2, 5), 0.1, 7)
-            .approx_eq(&block_diagonal(30, (2, 5), 0.1, 7), 0.0));
+        assert!(
+            block_diagonal(30, (2, 5), 0.1, 7).approx_eq(&block_diagonal(30, (2, 5), 0.1, 7), 0.0)
+        );
         assert!(grouped_rows(30, 3, 4, 7).approx_eq(&grouped_rows(30, 3, 4, 7), 0.0));
     }
 

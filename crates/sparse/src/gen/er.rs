@@ -24,7 +24,12 @@ pub fn erdos_renyi(n: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
 
 /// Uniform random rectangular sparse matrix (general `m × n`), used for
 /// tall-skinny operands in tests.
-pub fn erdos_renyi_rect(nrows: usize, ncols: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+pub fn erdos_renyi_rect(
+    nrows: usize,
+    ncols: usize,
+    avg_nnz_per_row: usize,
+    seed: u64,
+) -> CsrMatrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nrows * avg_nnz_per_row);
     for i in 0..nrows {

@@ -84,7 +84,7 @@ pub fn patched_mesh(patch_nx: usize, patch_ny: usize, patches: usize, seed: u64)
             }
         }
     }
-    from_undirected_edges(n, &edges, false, seed ^ 0x0ddb_a11)
+    from_undirected_edges(n, &edges, false, seed ^ 0x00dd_ba11)
 }
 
 #[cfg(test)]

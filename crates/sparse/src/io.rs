@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn read_symmetric_expands() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 2 6.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 2 6.0\n";
         let m = read_matrix_market(Cursor::new(text)).unwrap();
         assert_eq!(m.nnz(), 5);
         assert_eq!(m.get(0, 1), Some(5.0));

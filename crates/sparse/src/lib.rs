@@ -22,6 +22,9 @@
 //!   consecutive-row Jaccard) used by the evaluation harness.
 //! * [`jaccard`] — set-similarity primitives shared by the clustering
 //!   algorithms (paper Alg. 2/3).
+//! * [`fingerprint`] — `O(samples)` matrix fingerprints keying the engine's
+//!   plan cache (`cw-engine`), so repeated traffic on the same operand can
+//!   skip preprocessing.
 //!
 //! All generators and algorithms are deterministic given a seed; no global
 //! state is used anywhere.
@@ -32,6 +35,7 @@
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod jaccard;
@@ -43,6 +47,7 @@ pub mod stats;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use fingerprint::{checksum, fingerprint, MatrixFingerprint};
 pub use perm::Permutation;
 
 /// Column-index type used across the workspace.

@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn symmetric_permutation_preserves_diag_multiset() {
-        let a = CsrMatrix::from_dense(
-            3,
-            3,
-            &[1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 7.0, 0.0, 3.0],
-        );
+        let a = CsrMatrix::from_dense(3, 3, &[1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 7.0, 0.0, 3.0]);
         let p = Permutation::from_new_to_old(vec![1, 2, 0]).unwrap();
         let b = p.permute_symmetric(&a);
         b.validate().unwrap();

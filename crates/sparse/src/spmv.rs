@@ -75,7 +75,7 @@ mod tests {
         // Interior rows of the Poisson matrix sum to zero: A·1 has zeros
         // away from the boundary.
         let a = poisson2d(5, 5);
-        let y = spmv(&a, &vec![1.0; 25]);
+        let y = spmv(&a, &[1.0; 25]);
         assert_eq!(y[12], 0.0); // center vertex
         assert!(y[0] > 0.0); // corner keeps boundary excess
     }

@@ -147,7 +147,8 @@ mod tests {
     #[test]
     fn profile_counts_leftward_extent() {
         // Row 2 reaching back to column 0 contributes 2.
-        let a = CsrMatrix::from_row_lists(3, vec![vec![(0, 1.0)], vec![], vec![(0, 1.0), (2, 1.0)]]);
+        let a =
+            CsrMatrix::from_row_lists(3, vec![vec![(0, 1.0)], vec![], vec![(0, 1.0), (2, 1.0)]]);
         assert_eq!(profile(&a), 2);
     }
 

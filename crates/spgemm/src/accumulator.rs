@@ -17,7 +17,7 @@ use cw_sparse::{ColIdx, Value};
 const EMPTY: u32 = u32::MAX;
 
 /// Which accumulator implementation a kernel should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AccumulatorKind {
     /// Open-addressing hash table (the paper's choice, \[40\]).
     #[default]
@@ -179,7 +179,12 @@ pub struct DenseAccumulator {
 impl DenseAccumulator {
     /// Creates a dense accumulator for matrices with `ncols` columns.
     pub fn new(ncols: usize) -> Self {
-        DenseAccumulator { vals: vec![0.0; ncols], stamp: vec![0; ncols], gen: 1, touched: Vec::new() }
+        DenseAccumulator {
+            vals: vec![0.0; ncols],
+            stamp: vec![0; ncols],
+            gen: 1,
+            touched: Vec::new(),
+        }
     }
 }
 

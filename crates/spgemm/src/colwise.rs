@@ -59,7 +59,7 @@ pub fn spgemm_colwise(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rowwise::{spgemm_serial, dense_reference};
+    use crate::rowwise::{dense_reference, spgemm_serial};
     use cw_sparse::gen::er::{erdos_renyi, erdos_renyi_rect};
     use cw_sparse::gen::grid::poisson2d;
 

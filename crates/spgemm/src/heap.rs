@@ -19,10 +19,8 @@ type Cursor = Reverse<(ColIdx, u32)>;
 /// `C = A · B` via per-row k-way heap merge (parallel over rows).
 pub fn spgemm_heap(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     assert_eq!(a.ncols, b.nrows, "dimension mismatch");
-    let rows: Vec<(Vec<ColIdx>, Vec<Value>)> = (0..a.nrows)
-        .into_par_iter()
-        .map(|i| merge_row(a, b, i))
-        .collect();
+    let rows: Vec<(Vec<ColIdx>, Vec<Value>)> =
+        (0..a.nrows).into_par_iter().map(|i| merge_row(a, b, i)).collect();
     let mut row_ptr = Vec::with_capacity(a.nrows + 1);
     row_ptr.push(0usize);
     let mut col_idx = Vec::new();

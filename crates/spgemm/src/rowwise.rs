@@ -170,13 +170,7 @@ fn spgemm_parallel_impl(a: &CsrMatrix, b: &CsrMatrix, opts: &SpGemmOptions) -> C
 
     // --- numeric ---
     jobs.par_iter_mut().for_each_init(
-        || {
-            (
-                make_accumulator(opts.acc, b.ncols),
-                Vec::<ColIdx>::new(),
-                Vec::<Value>::new(),
-            )
-        },
+        || (make_accumulator(opts.acc, b.ncols), Vec::<ColIdx>::new(), Vec::<Value>::new()),
         |(acc, buf_c, buf_v), job| {
             let (s, e) = job.rows;
             buf_c.clear();
@@ -236,11 +230,12 @@ mod tests {
         let expect = dense_reference(&a, &b);
         for kind in all_kinds() {
             for parallel in [false, true] {
-                let c = spgemm_with(&a, &b, &SpGemmOptions { acc: kind, parallel, chunks_per_thread: 2 });
-                assert!(
-                    c.numerically_eq(&expect, 1e-12),
-                    "kind {kind:?} parallel {parallel}"
+                let c = spgemm_with(
+                    &a,
+                    &b,
+                    &SpGemmOptions { acc: kind, parallel, chunks_per_thread: 2 },
                 );
+                assert!(c.numerically_eq(&expect, 1e-12), "kind {kind:?} parallel {parallel}");
             }
         }
     }
@@ -251,7 +246,11 @@ mod tests {
         let reference = spgemm_serial(&a, &a);
         for kind in all_kinds() {
             for parallel in [false, true] {
-                let c = spgemm_with(&a, &a, &SpGemmOptions { acc: kind, parallel, chunks_per_thread: 4 });
+                let c = spgemm_with(
+                    &a,
+                    &a,
+                    &SpGemmOptions { acc: kind, parallel, chunks_per_thread: 4 },
+                );
                 assert!(c.approx_eq(&reference, 1e-10), "kind {kind:?} parallel {parallel}");
             }
         }

@@ -103,7 +103,7 @@ pub fn spgemm_topk(a: &CsrMatrix, topk: usize, jacc_th: f64) -> Vec<CandidatePai
 pub fn brute_force_pairs(a: &CsrMatrix, topk: usize, jacc_th: f64) -> Vec<CandidatePair> {
     use cw_sparse::jaccard::jaccard;
     let mut per_row: Vec<Vec<CandidatePair>> = vec![Vec::new(); a.nrows];
-    for i in 0..a.nrows {
+    for (i, row) in per_row.iter_mut().enumerate() {
         for j in 0..a.nrows {
             if i == j {
                 continue;
@@ -112,17 +112,17 @@ pub fn brute_force_pairs(a: &CsrMatrix, topk: usize, jacc_th: f64) -> Vec<Candid
             // Rows with zero overlap never appear in A·Aᵀ; skip to match.
             if s >= jacc_th && s > 0.0 {
                 let (lo, hi) = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
-                per_row[i].push(CandidatePair { row_i: lo, row_j: hi, jaccard: s });
+                row.push(CandidatePair { row_i: lo, row_j: hi, jaccard: s });
             }
         }
-        per_row[i].sort_unstable_by(|x, y| {
+        row.sort_unstable_by(|x, y| {
             y.jaccard
                 .partial_cmp(&x.jaccard)
                 .unwrap()
                 .then(x.row_i.cmp(&y.row_i))
                 .then(x.row_j.cmp(&y.row_j))
         });
-        per_row[i].truncate(topk);
+        row.truncate(topk);
     }
     let mut all: Vec<CandidatePair> = per_row.into_iter().flatten().collect();
     all.sort_unstable_by(|x, y| {

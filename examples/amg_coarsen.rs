@@ -92,5 +92,8 @@ fn main() {
         ny = ny.div_ceil(2);
         level += 1;
     }
-    println!("\ncoarsened to {} unknowns across {} levels; all products verified ✓", a.nrows, level);
+    println!(
+        "\ncoarsened to {} unknowns across {} levels; all products verified ✓",
+        a.nrows, level
+    );
 }

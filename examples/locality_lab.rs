@@ -60,10 +60,7 @@ fn main() {
     let h_row = reuse_distance_histogram(&row_trace, scrambled.ncols, cap);
     let h_cluster = reuse_distance_histogram(&cluster_trace, pa.ncols, cap);
     println!("\nreuse-distance profile (B-row granularity):");
-    println!(
-        "{:<26} {:>14} {:>14}",
-        "would-hit at capacity", "row-wise", "cluster-wise"
-    );
+    println!("{:<26} {:>14} {:>14}", "would-hit at capacity", "row-wise", "cluster-wise");
     for c in [8usize, 32, 128, 512] {
         println!(
             "{:<26} {:>13.1}% {:>13.1}%",

@@ -67,8 +67,7 @@ fn main() {
         h.clustering.nclusters(),
         t0.elapsed()
     );
-    let multi: usize =
-        h.clustering.sizes.iter().filter(|&&s| s > 1).map(|&s| s as usize).sum();
+    let multi: usize = h.clustering.sizes.iter().filter(|&&s| s > 1).map(|&s| s as usize).sum();
     println!("{multi} of {docs} documents were grouped with at least one near-duplicate");
 
     // Sanity: every reported pair really has the claimed similarity.

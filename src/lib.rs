@@ -1,19 +1,28 @@
 //! # clusterwise-spgemm
 //!
 //! A from-scratch Rust reproduction of *"Improving SpGEMM Performance
-//! Through Matrix Reordering and Cluster-wise Computation"* (SC 2025):
+//! Through Matrix Reordering and Cluster-wise Computation"* (SC 2025) —
 //! shared-memory parallel SpGEMM accelerated by row reordering and a
-//! cluster-wise computation scheme over the `CSR_Cluster` format.
+//! cluster-wise computation scheme over the `CSR_Cluster` format — grown
+//! into a servable system with an adaptive planning engine in front.
 //!
 //! This crate is a facade re-exporting the workspace members:
 //!
+//! * [`engine`] — **the front door**: an adaptive plan/prepare/execute
+//!   pipeline. A `Planner` profiles the operand and picks reordering ×
+//!   clustering × kernel × accumulator; `PreparedMatrix` materializes that
+//!   plan once; a fingerprint-keyed `PlanCache` lets repeated traffic on
+//!   the same matrix skip preprocessing entirely; `Engine::multiply`
+//!   executes under rayon and reports per-stage timings.
 //! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
-//!   synthetic matrix generators, structural statistics.
+//!   synthetic matrix generators, structural statistics, and the matrix
+//!   fingerprints keying the engine's plan cache.
 //! * [`spgemm`] — row-wise Gustavson SpGEMM (the baseline) with hash /
 //!   dense / sort accumulators, FLOP analysis, `SpGEMM_TopK`.
 //! * [`partition`] — multilevel graph & hypergraph partitioners and nested
 //!   dissection (METIS/PaToH stand-ins).
-//! * [`reorder`] — the ten row-reordering algorithms of the paper's study.
+//! * [`reorder`] — the ten row-reordering algorithms of the paper's study,
+//!   plus the structural advisor driving the engine's planner.
 //! * [`core`] — the contribution: `CSR_Cluster`, fixed / variable /
 //!   hierarchical clustering, and the cluster-wise SpGEMM kernel.
 //! * [`cachesim`] — cache simulation and reuse-distance analysis for
@@ -21,7 +30,7 @@
 //! * [`datasets`] — the 110-matrix synthetic corpus and BC-frontier
 //!   workloads.
 //!
-//! ## Quickstart
+//! ## Quickstart: one-shot multiply
 //!
 //! ```
 //! use clusterwise_spgemm::prelude::*;
@@ -42,6 +51,25 @@
 //! let expected = h.perm.permute_symmetric(&c_rowwise);
 //! assert!(c_clustered.numerically_eq(&expected, 1e-9));
 //! ```
+//!
+//! ## Quickstart: the engine (repeated traffic)
+//!
+//! For serving workloads, let the engine choose the pipeline and amortize
+//! preprocessing across calls (see `examples/engine_pipeline.rs` for the
+//! full tour):
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//!
+//! let a = clusterwise_spgemm::sparse::gen::banded::block_diagonal(96, (4, 8), 0.1, 7);
+//! let mut engine = Engine::default();
+//!
+//! let (c_first, first) = engine.multiply(&a, &a);   // plans + prepares
+//! let (c_again, again) = engine.multiply(&a, &a);   // cache hit: kernel only
+//! assert!(!first.cache_hit && again.cache_hit);
+//! assert!(c_first.numerically_eq(&c_again, 0.0));
+//! assert!(c_first.numerically_eq(&spgemm(&a, &a), 1e-9));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +77,7 @@
 pub use cw_cachesim as cachesim;
 pub use cw_core as core;
 pub use cw_datasets as datasets;
+pub use cw_engine as engine;
 pub use cw_partition as partition;
 pub use cw_reorder as reorder;
 pub use cw_sparse as sparse;
@@ -60,8 +89,11 @@ pub mod prelude {
         clusterwise_spgemm, fixed_clustering, hierarchical_clustering, variable_clustering,
         ClusterConfig, Clustering, CsrCluster,
     };
+    pub use cw_engine::{
+        Engine, ExecutionReport, KernelChoice, Plan, PlanCache, Planner, PreparedMatrix,
+    };
     pub use cw_reorder::Reordering;
-    pub use cw_sparse::{CooMatrix, CscMatrix, CsrMatrix, Permutation};
+    pub use cw_sparse::{fingerprint, CooMatrix, CscMatrix, CsrMatrix, Permutation};
     pub use cw_spgemm::{spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions};
 }
 
@@ -78,5 +110,15 @@ mod tests {
         let (cc, pa) = h.build_symmetric(&a);
         let c2 = clusterwise_spgemm(&cc, &pa);
         assert_eq!(c2.nnz(), c.nnz());
+    }
+
+    #[test]
+    fn facade_engine_round_trip() {
+        let a = crate::sparse::gen::grid::poisson2d(10, 10);
+        let mut engine = Engine::default();
+        let (c, report) = engine.multiply(&a, &a);
+        assert!(c.numerically_eq(&spgemm(&a, &a), 1e-9));
+        assert!(!report.cache_hit);
+        assert_eq!(engine.cache_stats().misses, 1);
     }
 }

@@ -90,10 +90,18 @@ fn kkt_family_has_empty_22_block() {
 #[test]
 fn representative_names_match_paper_analogues() {
     let names: Vec<&str> = representative(Scale::Small).iter().map(|d| d.name).collect();
-    for expected in
-        ["cage12-like", "poi3D-like", "conf5-like", "pdb1-like", "rma10-like", "wb-like",
-         "AS365-like", "huget-like", "M6-like", "NLR-like"]
-    {
+    for expected in [
+        "cage12-like",
+        "poi3D-like",
+        "conf5-like",
+        "pdb1-like",
+        "rma10-like",
+        "wb-like",
+        "AS365-like",
+        "huget-like",
+        "M6-like",
+        "NLR-like",
+    ] {
         assert!(names.contains(&expected), "missing {expected}");
     }
 }

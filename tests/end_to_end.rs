@@ -38,11 +38,9 @@ fn clusterwise_equals_rowwise_across_generators_and_schemes() {
     for (name, a) in test_matrices() {
         let reference = spgemm_serial(&a, &a);
         // Fixed and variable clustering on the original order.
-        for clustering in [
-            fixed_clustering(&a, 8),
-            fixed_clustering(&a, 3),
-            variable_clustering(&a, &cfg),
-        ] {
+        for clustering in
+            [fixed_clustering(&a, 8), fixed_clustering(&a, 3), variable_clustering(&a, &cfg)]
+        {
             let cc = CsrCluster::from_csr(&a, &clustering);
             let got = clusterwise_spgemm(&cc, &a);
             assert!(got.approx_eq(&reference, 1e-9), "{name}");
@@ -140,11 +138,8 @@ fn accumulators_agree_on_every_generator() {
             &SpGemmOptions { acc: AccumulatorKind::Dense, parallel: false, chunks_per_thread: 1 },
         );
         for acc in [AccumulatorKind::Hash, AccumulatorKind::Sort] {
-            let got = spgemm_with(
-                &a,
-                &a,
-                &SpGemmOptions { acc, parallel: true, chunks_per_thread: 4 },
-            );
+            let got =
+                spgemm_with(&a, &a, &SpGemmOptions { acc, parallel: true, chunks_per_thread: 4 });
             assert!(got.approx_eq(&reference, 1e-9), "{name} {acc:?}");
         }
     }

@@ -1,0 +1,169 @@
+//! Cross-validation of the `cw-engine` subsystem against the row-wise
+//! baseline: for every advisor suggestion branch — Reorder (all ten
+//! algorithms), ClusterInPlace, Hierarchical, LeaveOriginal — over the
+//! synthetic generator families, `Engine` output must be numerically
+//! identical (per `CsrMatrix::numerically_eq`, same pattern, values within
+//! float tolerance) to `spgemm::rowwise`.
+
+use clusterwise_spgemm::engine::{ClusteringStrategy, Suggestion};
+use clusterwise_spgemm::prelude::*;
+use clusterwise_spgemm::sparse::gen;
+
+/// The generator corpus exercising every structural family the advisor's
+/// decision surface branches on.
+fn corpus() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("scrambled_mesh", gen::mesh::tri_mesh(14, 14, true, 3)),
+        ("poisson2d", gen::grid::poisson2d(14, 14)),
+        ("block_diagonal", gen::banded::block_diagonal(96, (4, 8), 0.1, 5)),
+        ("grouped_rows", gen::banded::grouped_rows(90, 5, 6, 2)),
+        ("rmat_powerlaw", gen::rmat::rmat(7, 6, gen::rmat::RmatParams::default(), 4)),
+        ("erdos_renyi", gen::er::erdos_renyi(120, 5, 9)),
+        ("road", gen::road::road(10, 10, 0.9, 4, 6)),
+        ("kkt", gen::kkt::kkt(70, 20, 2, 3, 8)),
+    ]
+}
+
+fn assert_engine_matches_baseline(name: &str, a: &CsrMatrix, suggestion: Suggestion) {
+    let mut engine = Engine::default();
+    let plan = engine.planner().plan_for_suggestion(a, suggestion);
+    let (got, report) = engine.multiply_planned(a, a, plan);
+    let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(a, a);
+    assert!(
+        got.numerically_eq(&expect, 1e-9),
+        "{name}: engine output diverges from row-wise baseline under {suggestion:?} ({})",
+        report.plan.describe(),
+    );
+    assert_eq!(report.output_nnz, expect.nnz(), "{name}: nnz mismatch");
+}
+
+#[test]
+fn leave_original_branch_matches_rowwise_everywhere() {
+    for (name, a) in corpus() {
+        assert_engine_matches_baseline(name, &a, Suggestion::LeaveOriginal);
+    }
+}
+
+#[test]
+fn cluster_in_place_branch_matches_rowwise_everywhere() {
+    for (name, a) in corpus() {
+        assert_engine_matches_baseline(name, &a, Suggestion::ClusterInPlace);
+    }
+}
+
+#[test]
+fn hierarchical_branch_matches_rowwise_everywhere() {
+    for (name, a) in corpus() {
+        assert_engine_matches_baseline(name, &a, Suggestion::Hierarchical);
+    }
+}
+
+#[test]
+fn reorder_branch_matches_rowwise_for_all_ten_algorithms() {
+    // One bounded-degree mesh and one power-law graph cover both regimes
+    // the reorderings target; every algorithm must round-trip exactly.
+    let mats = vec![
+        ("scrambled_mesh", gen::mesh::tri_mesh(10, 10, true, 1)),
+        ("rmat_powerlaw", gen::rmat::rmat(6, 5, gen::rmat::RmatParams::default(), 2)),
+    ];
+    for (name, a) in &mats {
+        for algo in Reordering::all_ten() {
+            assert_engine_matches_baseline(name, a, Suggestion::Reorder(algo));
+        }
+    }
+}
+
+#[test]
+fn planner_natural_choice_matches_rowwise_everywhere() {
+    // Whatever the advisor actually picks per family must also be exact.
+    for (name, a) in corpus() {
+        let mut engine = Engine::default();
+        let (got, report) = engine.multiply(&a, &a);
+        let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &a);
+        assert!(
+            got.numerically_eq(&expect, 1e-9),
+            "{name}: natural plan {} diverges",
+            report.plan.describe(),
+        );
+    }
+}
+
+#[test]
+fn ranked_plans_all_match_rowwise() {
+    // Every plan in the advisor's ranked fallback list is executable and
+    // exact, so a preprocessing-budget fall-through can pick any of them.
+    let a = gen::mesh::tri_mesh(12, 12, true, 7);
+    let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &a);
+    let mut engine = Engine::default();
+    let plans = engine.planner().plans_ranked(&a);
+    assert!(!plans.is_empty());
+    for plan in plans {
+        let (got, _) = engine.multiply_planned(&a, &a, plan);
+        assert!(got.numerically_eq(&expect, 1e-9), "plan {} diverges", plan.describe());
+    }
+}
+
+#[test]
+fn repeated_traffic_hits_cache_and_stays_exact() {
+    let a = gen::banded::block_diagonal(80, (4, 8), 0.15, 3);
+    let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &a);
+    let mut engine = Engine::default();
+    for round in 0..5 {
+        let (got, report) = engine.multiply(&a, &a);
+        assert!(got.numerically_eq(&expect, 1e-9), "round {round}");
+        assert_eq!(report.cache_hit, round > 0, "round {round}");
+        if round > 0 {
+            assert_eq!(
+                report.timings.preprocessing(),
+                0.0,
+                "round {round} should skip reorder+cluster preprocessing"
+            );
+        }
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 4);
+}
+
+#[test]
+fn batch_right_hand_sides_share_one_preparation() {
+    let a = gen::mesh::tri_mesh(10, 10, true, 5);
+    let n = a.nrows;
+    let bs: Vec<CsrMatrix> = (0..3).map(|s| gen::er::erdos_renyi(n, 4, s)).collect();
+    let mut engine = Engine::default();
+    let results = engine.multiply_batch(&a, &bs);
+    for (i, (c, report)) in results.iter().enumerate() {
+        let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &bs[i]);
+        assert!(c.numerically_eq(&expect, 1e-9), "rhs {i}");
+        assert_eq!(report.cache_hit, i > 0, "rhs {i}");
+    }
+}
+
+#[test]
+fn distinct_matrices_do_not_collide_in_the_cache() {
+    let a = gen::grid::poisson2d(12, 12);
+    let b = gen::mesh::tri_mesh(12, 12, true, 1);
+    let mut engine = Engine::default();
+    let (ca, _) = engine.multiply(&a, &a);
+    let (cb, _) = engine.multiply(&b, &b);
+    assert!(ca.numerically_eq(&clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &a), 1e-9));
+    assert!(cb.numerically_eq(&clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&b, &b), 1e-9));
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cached_operands(), 2);
+}
+
+#[test]
+fn fixed_clustering_plan_is_exact_for_all_lengths() {
+    let a = gen::grid::poisson2d(11, 9);
+    let expect = clusterwise_spgemm::spgemm::rowwise::spgemm_serial(&a, &a);
+    let mut engine = Engine::default();
+    for k in [1usize, 2, 4, 8] {
+        let plan = Plan {
+            clustering: ClusteringStrategy::Fixed(k),
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        let (got, _) = engine.multiply_planned(&a, &a, plan);
+        assert!(got.numerically_eq(&expect, 1e-9), "fixed({k})");
+    }
+}

@@ -39,10 +39,7 @@ fn fig4_csr_arrays() {
     // Paper Fig. 4: col-id and row-ptrs of the Fig. 1 matrix.
     let a = fig1();
     assert_eq!(a.row_ptr, vec![0, 3, 6, 9, 12, 15, 17]);
-    assert_eq!(
-        a.col_idx,
-        vec![0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3]
-    );
+    assert_eq!(a.col_idx, vec![0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3]);
 }
 
 #[test]
@@ -103,10 +100,8 @@ fn fig1_a_squared_through_both_kernels() {
     // The running example's actual product, all kernels, all clusterings.
     let a = fig1();
     let reference = spgemm_serial(&a, &a);
-    for clustering in [
-        fixed_clustering(&a, 3),
-        variable_clustering(&a, &ClusterConfig::default()),
-    ] {
+    for clustering in [fixed_clustering(&a, 3), variable_clustering(&a, &ClusterConfig::default())]
+    {
         let cc = CsrCluster::from_csr(&a, &clustering);
         assert!(clusterwise_spgemm(&cc, &a).approx_eq(&reference, 1e-12));
     }

@@ -10,42 +10,39 @@ use proptest::prelude::*;
 /// Strategy: a random sparse square matrix as (n, entries).
 fn sparse_square(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
     (2usize..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
-            move |entries| {
-                let mut coo = CooMatrix::new(n, n);
-                for (i, j, v) in entries {
-                    coo.push(i, j, v);
-                }
-                coo.to_csr()
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            for (i, j, v) in entries {
+                coo.push(i, j, v);
+            }
+            coo.to_csr()
+        })
     })
 }
 
 /// Strategy: a random clustering of `n` rows with sizes in 1..=8.
 fn clustering_of(n: usize) -> impl Strategy<Value = Clustering> {
-    proptest::collection::vec(1u32..=8, 1..=n)
-        .prop_map(move |mut sizes| {
-            // Trim/pad so sizes sum to exactly n.
-            let mut total = 0u32;
-            let mut out = Vec::new();
-            for s in sizes.drain(..) {
-                if total + s >= n as u32 {
-                    out.push(n as u32 - total);
-                    total = n as u32;
-                    break;
-                }
-                total += s;
-                out.push(s);
+    proptest::collection::vec(1u32..=8, 1..=n).prop_map(move |mut sizes| {
+        // Trim/pad so sizes sum to exactly n.
+        let mut total = 0u32;
+        let mut out = Vec::new();
+        for s in sizes.drain(..) {
+            if total + s >= n as u32 {
+                out.push(n as u32 - total);
+                total = n as u32;
+                break;
             }
-            while total < n as u32 {
-                let s = (n as u32 - total).min(8);
-                out.push(s);
-                total += s;
-            }
-            out.retain(|&s| s > 0);
-            Clustering { sizes: out }
-        })
+            total += s;
+            out.push(s);
+        }
+        while total < n as u32 {
+            let s = (n as u32 - total).min(8);
+            out.push(s);
+            total += s;
+        }
+        out.retain(|&s| s > 0);
+        Clustering { sizes: out }
+    })
 }
 
 proptest! {

@@ -1,0 +1,314 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of rayon's API the workspace kernels use, implemented with
+//! `std::thread::scope` (safe, no work stealing, static contiguous
+//! chunking):
+//!
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `(a..b).into_par_iter().map_init(init, f).collect::<Vec<_>>()`
+//! * `slice.par_iter_mut().for_each(f)` / `.for_each_init(init, f)`
+//! * [`current_num_threads`]
+//!
+//! Ordering semantics match rayon: `collect` preserves index order.
+//! Thread count comes from `RAYON_NUM_THREADS` or
+//! `std::thread::available_parallelism()`. Work smaller than one item per
+//! thread runs inline to avoid spawn overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// The worker-thread count used by all parallel operations.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Splits `n` items into at most `current_num_threads()` contiguous spans.
+fn spans(n: usize) -> Vec<Range<usize>> {
+    let threads = current_num_threads().min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Everything call sites need in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Conversion into a parallel iterator (ranges only).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParMap { range: self.range, f }
+    }
+
+    /// Like [`ParRange::map`] but with per-thread mutable state built by
+    /// `init` (rayon's `map_init`).
+    pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<INIT, F>
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, usize) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit { range: self.range, init, f }
+    }
+}
+
+/// Result of [`ParRange::map`]; consume with `collect`.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Collects results in index order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let f = &self.f;
+        run_mapped(self.range, move |_span_idx, i| f(i)).into()
+    }
+}
+
+/// Result of [`ParRange::map_init`]; consume with `collect`.
+pub struct ParMapInit<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> ParMapInit<INIT, F> {
+    /// Collects results in index order; `init` runs once per worker.
+    pub fn collect<I, R, C>(self) -> C
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, usize) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let init = &self.init;
+        let f = &self.f;
+        let n = self.range.len();
+        let offset = self.range.start;
+        if n == 0 {
+            return Vec::new().into();
+        }
+        let chunks = spans(n);
+        if chunks.len() == 1 {
+            let mut state = init();
+            return (offset..offset + n).map(|i| f(&mut state, i)).collect::<Vec<R>>().into();
+        }
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|span| {
+                    s.spawn(move || {
+                        let mut state = init();
+                        span.map(|i| f(&mut state, offset + i)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon stand-in worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect::<Vec<R>>().into()
+    }
+}
+
+/// Plain parallel map helper shared by `collect` paths.
+fn run_mapped<R, F>(range: Range<usize>, f: F) -> Vec<R>
+where
+    F: Fn(usize, usize) -> R + Sync,
+    R: Send,
+{
+    let n = range.len();
+    let offset = range.start;
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = spans(n);
+    if chunks.len() == 1 {
+        return (0..n).map(|i| f(0, offset + i)).collect();
+    }
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(t, span)| {
+                let f = &f;
+                s.spawn(move || span.map(|i| f(t, offset + i)).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// `par_iter_mut` over slices (and anything derefing to a slice).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator of `&mut T` in slice order.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel mutable slice iterator.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.for_each_init(|| (), |(), item| f(item));
+    }
+
+    /// Applies `f` with per-thread state built by `init` (rayon's
+    /// `for_each_init`).
+    pub fn for_each_init<I, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, &mut T) + Sync,
+    {
+        let n = self.slice.len();
+        if n == 0 {
+            return;
+        }
+        let chunks = spans(n);
+        if chunks.len() == 1 {
+            let mut state = init();
+            for item in self.slice.iter_mut() {
+                f(&mut state, item);
+            }
+            return;
+        }
+        // Carve the slice into disjoint spans, one per worker.
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let mut rest = self.slice;
+        let mut parts: Vec<&mut [T]> = Vec::with_capacity(sizes.len());
+        for len in sizes {
+            let (here, there) = rest.split_at_mut(len);
+            parts.push(here);
+            rest = there;
+        }
+        std::thread::scope(|s| {
+            for part in parts {
+                let init = &init;
+                let f = &f;
+                s.spawn(move || {
+                    let mut state = init();
+                    for item in part.iter_mut() {
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_runs_init_per_worker_and_orders_output() {
+        let out: Vec<usize> = (5..105)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i + scratch.len()
+            })
+            .collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 5 + 1);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<u8> = (3..3).into_par_iter().map(|_| 0u8).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_init_touches_every_element() {
+        let mut xs = vec![0u64; 4096];
+        xs.par_iter_mut().for_each_init(|| 7u64, |state, x| *x = *state);
+        assert!(xs.iter().all(|&x| x == 7));
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 8));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let parts: Vec<u64> = (0..100_000).into_par_iter().map(|i| i as u64).collect();
+        let total: u64 = parts.iter().sum();
+        assert_eq!(total, 99_999 * 100_000 / 2);
+    }
+}
