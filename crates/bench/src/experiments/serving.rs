@@ -1,0 +1,135 @@
+//! Serving experiment: offered-load sweep over [`cw_service::SpgemmService`]
+//! — throughput and latency vs shard count and batch window.
+//!
+//! The paper's amortization argument (§4.5, Fig. 10) says preprocessing
+//! only pays off under repeated traffic; this experiment measures the
+//! serving layer that *creates* that repetition: requests over a fixed set
+//! of operands are pushed through the service under every (shard count ×
+//! batch window) combination, and the table reports end-to-end throughput,
+//! latency quantiles, cache hit rate, and how much batch coalescing
+//! actually happened. Multicore SpGEMM throughput hinges on keeping all
+//! cores fed with balanced batches (Nagasaka et al.); the shard sweep
+//! shows how far fingerprint-sharding gets toward that.
+
+use crate::report::{Report, Table};
+use crate::runner::RunConfig;
+use cw_service::{MultiplyRequest, ServiceConfig, SpgemmService};
+use cw_sparse::CsrMatrix;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shard counts swept.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Batch windows swept (milliseconds; 0 disables coalescing).
+const WINDOWS_MS: [u64; 2] = [0, 2];
+/// Right-hand sides served per matrix per rep.
+const RHS_PER_MATRIX: usize = 8;
+
+/// Runs the serving experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let datasets = cfg.select(cw_datasets::representative(cfg.scale));
+    let mats: Vec<Arc<CsrMatrix>> = datasets.iter().map(|d| Arc::new(d.build(cfg.scale))).collect();
+    let requests_per_cell = mats.len() * RHS_PER_MATRIX * cfg.reps.max(1);
+
+    let mut rep = Report::new(
+        "serving",
+        "SpgemmService offered-load sweep: throughput/latency vs shards and batch window",
+    );
+    rep.note(format!(
+        "{} operands x {} rhs x {} reps = {} requests per cell; requests on one operand share \
+         its fingerprint and can coalesce.",
+        mats.len(),
+        RHS_PER_MATRIX,
+        cfg.reps.max(1),
+        requests_per_cell,
+    ));
+    rep.note("throughput = completed requests / wall seconds (submit through drain).");
+    rep.note("hit rate sums the per-shard plan caches; window 0 disables coalescing (every batch is size 1).");
+
+    let mut t = Table::new(vec![
+        "shards",
+        "window ms",
+        "requests",
+        "completed",
+        "rejected",
+        "wall s",
+        "throughput req/s",
+        "p50 ms",
+        "p99 ms",
+        "hit rate",
+        "coalesced batches",
+        "max batch",
+    ]);
+    for shards in SHARD_COUNTS {
+        for window_ms in WINDOWS_MS {
+            let service = SpgemmService::new(ServiceConfig {
+                shards,
+                batch_window: Duration::from_millis(window_ms),
+                queue_capacity: requests_per_cell.max(64) * 2,
+                seed: cfg.seed,
+                ..ServiceConfig::default()
+            });
+            let t0 = Instant::now();
+            let mut tickets = Vec::with_capacity(requests_per_cell);
+            for _ in 0..cfg.reps.max(1) {
+                for _ in 0..RHS_PER_MATRIX {
+                    for a in &mats {
+                        if let Ok(ticket) =
+                            service.submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a)))
+                        {
+                            tickets.push(ticket);
+                        }
+                    }
+                }
+            }
+            let mut completed = 0u64;
+            for ticket in tickets {
+                if ticket.wait().is_ok() {
+                    completed += 1;
+                }
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let stats = service.shutdown();
+            t.push_row(vec![
+                shards.to_string(),
+                window_ms.to_string(),
+                requests_per_cell.to_string(),
+                completed.to_string(),
+                stats.rejected.to_string(),
+                format!("{wall:.4}"),
+                format!("{:.1}", completed as f64 / wall.max(1e-9)),
+                format!("{:.3}", stats.latency.p50_seconds * 1e3),
+                format!("{:.3}", stats.latency.p99_seconds * 1e3),
+                format!("{:.2}", stats.total_cache().hit_rate()),
+                stats.coalesced_batches().to_string(),
+                stats.max_batch_size().to_string(),
+            ]);
+        }
+    }
+    rep.add_table("offered-load sweep", t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_experiment_serves_every_request() {
+        let cfg = RunConfig { reps: 1, subset: Some(2), ..Default::default() };
+        let rep = run(&cfg);
+        assert_eq!(rep.id, "serving");
+        assert_eq!(rep.tables.len(), 1);
+        let (_, t) = &rep.tables[0];
+        assert_eq!(t.rows.len(), SHARD_COUNTS.len() * WINDOWS_MS.len());
+        for row in &t.rows {
+            let requests: u64 = row[2].parse().unwrap();
+            let completed: u64 = row[3].parse().unwrap();
+            let rejected: u64 = row[4].parse().unwrap();
+            assert_eq!(completed, requests, "every request must be served: {row:?}");
+            assert_eq!(rejected, 0, "queue sized to the load must not reject");
+            let hit_rate: f64 = row[9].parse().unwrap();
+            assert!(hit_rate > 0.5, "repeated operands must hit shard caches: {hit_rate}");
+        }
+    }
+}

@@ -50,6 +50,21 @@ impl CacheKey {
     }
 }
 
+/// What bounds a [`PlanCache`]: a maximum entry count (the original
+/// behavior and the default) or a maximum resident byte budget sized from
+/// [`PreparedMatrix::approx_bytes`] — the ROADMAP's "memory-bounded
+/// eviction (bytes, not entry count)" item. Byte budgets matter for
+/// serving: prepared operands vary by orders of magnitude in size, so an
+/// entry count bounds nothing useful about memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheBudget {
+    /// At most this many prepared operands (`0` disables caching).
+    Entries(usize),
+    /// At most this many resident bytes across all prepared operands.
+    /// An operand larger than the whole budget is never cached.
+    Bytes(usize),
+}
+
 /// Hit/miss/eviction counters for one cache instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -79,12 +94,22 @@ impl CacheStats {
     }
 }
 
+/// One resident cache entry: the operand, its LRU recency tick, and its
+/// byte footprint (frozen at insert time).
+#[derive(Debug)]
+struct CacheEntry {
+    prepared: Arc<PreparedMatrix>,
+    last_used: u64,
+    bytes: usize,
+}
+
 /// A bounded LRU map from [`CacheKey`]s to prepared operands.
 #[derive(Debug)]
 pub struct PlanCache {
-    capacity: usize,
+    budget: CacheBudget,
     tick: u64,
-    entries: HashMap<CacheKey, (Arc<PreparedMatrix>, u64)>,
+    bytes_used: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
     stats: CacheStats,
 }
 
@@ -92,7 +117,18 @@ impl PlanCache {
     /// Cache holding at most `capacity` prepared operands (`capacity == 0`
     /// disables caching: every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> PlanCache {
-        PlanCache { capacity, tick: 0, entries: HashMap::new(), stats: CacheStats::default() }
+        PlanCache::with_budget(CacheBudget::Entries(capacity))
+    }
+
+    /// Cache bounded by an explicit [`CacheBudget`].
+    pub fn with_budget(budget: CacheBudget) -> PlanCache {
+        PlanCache {
+            budget,
+            tick: 0,
+            bytes_used: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Number of cached operands.
@@ -105,9 +141,24 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// Capacity bound.
+    /// The configured bound.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Entry-count bound (`usize::MAX` under a byte budget, which does not
+    /// limit entry count).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        match self.budget {
+            CacheBudget::Entries(n) => n,
+            CacheBudget::Bytes(_) => usize::MAX,
+        }
+    }
+
+    /// Resident bytes across all cached operands (per
+    /// [`PreparedMatrix::approx_bytes`]).
+    pub fn bytes(&self) -> usize {
+        self.bytes_used
     }
 
     /// Lifetime counters.
@@ -119,10 +170,10 @@ impl PlanCache {
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<PreparedMatrix>> {
         self.tick += 1;
         match self.entries.get_mut(key) {
-            Some((prepared, last_used)) => {
-                *last_used = self.tick;
+            Some(entry) => {
+                entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(prepared))
+                Some(Arc::clone(&entry.prepared))
             }
             None => {
                 self.stats.misses += 1;
@@ -131,24 +182,47 @@ impl PlanCache {
         }
     }
 
-    /// Inserts a prepared operand under `key`, evicting the
-    /// least-recently-used entry if the cache is full.
+    /// Inserts a prepared operand under `key`, evicting least-recently-used
+    /// entries until the budget is respected. Under [`CacheBudget::Bytes`],
+    /// an operand larger than the entire budget is silently not cached
+    /// (mirroring the `Entries(0)` behavior).
     pub fn insert(&mut self, key: CacheKey, prepared: Arc<PreparedMatrix>) {
-        if self.capacity == 0 {
-            return;
+        let bytes = prepared.approx_bytes();
+        match self.budget {
+            CacheBudget::Entries(0) => return,
+            CacheBudget::Bytes(b) if bytes > b => return,
+            _ => {}
         }
         self.tick += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            // Evict the stalest entry (O(len) scan; capacities are small).
-            if let Some(&victim) =
-                self.entries.iter().min_by_key(|(_, (_, last_used))| *last_used).map(|(k, _)| k)
-            {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-            }
+        if let Some(old) = self.entries.remove(&key) {
+            // Replacement: the old entry's footprint is released first so
+            // re-inserting under the same key never triggers eviction.
+            self.bytes_used -= old.bytes;
+        }
+        while self.over_budget_with(bytes) {
+            // Evict the stalest entry (O(len) scan; resident counts are
+            // small — tens of operands, not thousands).
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over budget implies at least one resident entry");
+            let evicted = self.entries.remove(&victim).unwrap();
+            self.bytes_used -= evicted.bytes;
+            self.stats.evictions += 1;
         }
         self.stats.insertions += 1;
-        self.entries.insert(key, (prepared, self.tick));
+        self.bytes_used += bytes;
+        self.entries.insert(key, CacheEntry { prepared, last_used: self.tick, bytes });
+    }
+
+    /// Would adding an entry of `incoming` bytes exceed the budget?
+    fn over_budget_with(&self, incoming: usize) -> bool {
+        match self.budget {
+            CacheBudget::Entries(n) => self.entries.len() + 1 > n,
+            CacheBudget::Bytes(b) => !self.entries.is_empty() && self.bytes_used + incoming > b,
+        }
     }
 
     /// Looks up `key`; a hit must also pass `verify` (full-content check —
@@ -170,7 +244,9 @@ impl PlanCache {
             self.stats.hits -= 1;
             self.stats.misses += 1;
             self.stats.collisions += 1;
-            self.entries.remove(&key);
+            if let Some(stale) = self.entries.remove(&key) {
+                self.bytes_used -= stale.bytes;
+            }
         }
         let prepared = Arc::new(prepare());
         self.insert(key, Arc::clone(&prepared));
@@ -180,6 +256,7 @@ impl PlanCache {
     /// Drops every entry (stats are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.bytes_used = 0;
     }
 }
 
@@ -302,6 +379,64 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_to_fit() {
+        let mats: Vec<CsrMatrix> = (6..9).map(|n| poisson2d(n, n)).collect();
+        let prepared: Vec<_> = mats.iter().map(|m| Arc::new(prepared_for(m))).collect();
+        let keys: Vec<_> = mats.iter().map(auto_key).collect();
+        // Budget fits the two largest operands but not all three.
+        let sizes: Vec<usize> = prepared.iter().map(|p| p.approx_bytes()).collect();
+        let budget = sizes[1] + sizes[2];
+        assert!(budget < sizes.iter().sum::<usize>());
+        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(budget));
+        cache.insert(keys[0], Arc::clone(&prepared[0]));
+        cache.insert(keys[1], Arc::clone(&prepared[1]));
+        assert_eq!(cache.bytes(), sizes[0] + sizes[1]);
+        cache.insert(keys[2], Arc::clone(&prepared[2]));
+        // keys[0] was the LRU entry and must have been evicted to fit.
+        assert!(cache.get(&keys[0]).is_none());
+        assert!(cache.get(&keys[1]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_operand_is_never_cached_under_byte_budget() {
+        let a = poisson2d(10, 10);
+        let p = Arc::new(prepared_for(&a));
+        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(p.approx_bytes() - 1));
+        cache.insert(auto_key(&a), p);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn byte_budget_replacement_releases_old_footprint() {
+        let a = poisson2d(8, 8);
+        let key = auto_key(&a);
+        let p = Arc::new(prepared_for(&a));
+        let sz = p.approx_bytes();
+        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(sz));
+        cache.insert(key, Arc::clone(&p));
+        cache.insert(key, p); // same key: must not evict or double-count
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), sz);
+        assert_eq!(cache.stats().evictions, 0);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn entries_budget_matches_legacy_capacity_semantics() {
+        let cache = PlanCache::new(7);
+        assert_eq!(cache.budget(), CacheBudget::Entries(7));
+        assert_eq!(cache.capacity(), 7);
+        let bytes = PlanCache::with_budget(CacheBudget::Bytes(1 << 20));
+        assert_eq!(bytes.capacity(), usize::MAX);
     }
 
     #[test]

@@ -33,9 +33,20 @@ impl Engine {
         Engine { planner, cache: PlanCache::new(cache_capacity) }
     }
 
+    /// Engine over a caller-built cache — the hook service shards use to
+    /// pick a [`crate::CacheBudget`] (e.g. byte-bounded) per shard.
+    pub fn with_cache(planner: Planner, cache: PlanCache) -> Engine {
+        Engine { planner, cache }
+    }
+
     /// The planner in use.
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// Read-only view of the plan cache (budget, resident bytes, length).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     /// Cache counters (hits/misses/evictions/insertions).
@@ -57,6 +68,21 @@ impl Engine {
     /// (planning on miss). Useful for warming the cache ahead of traffic.
     pub fn prepare(&mut self, a: &CsrMatrix) -> Arc<PreparedMatrix> {
         self.lookup_or_prepare(a, None).0
+    }
+
+    /// [`Engine::multiply`]/[`Engine::multiply_planned`] without the
+    /// multiply: the cached-or-fresh prepared operand for `a` (under the
+    /// planner's choice when `forced` is `None`), the preprocessing
+    /// timings attributable to this call (zeroed on hits), and the
+    /// cache-hit flag. Serving layers use this to resolve an operand once
+    /// and run many right-hand sides against it without paying the
+    /// per-call fingerprint + checksum lookup each time.
+    pub fn prepare_with(
+        &mut self,
+        a: &CsrMatrix,
+        forced: Option<Plan>,
+    ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
+        self.lookup_or_prepare(a, forced)
     }
 
     /// `C = A · b` through the adaptive pipeline. Returns the product (rows
@@ -268,6 +294,21 @@ mod tests {
         let _ = engine.prepare(&a);
         let (_, rep) = engine.multiply(&a, &a);
         assert!(rep.cache_hit);
+    }
+
+    #[test]
+    fn byte_budget_engine_caches_within_budget() {
+        let a = gen::grid::poisson2d(12, 12);
+        // Generous budget: the prepared operand fits, so the second call hits.
+        let mut engine = Engine::with_cache(
+            Planner::default(),
+            crate::cache::PlanCache::with_budget(crate::cache::CacheBudget::Bytes(16 << 20)),
+        );
+        let (_, r1) = engine.multiply(&a, &a);
+        let (_, r2) = engine.multiply(&a, &a);
+        assert!(!r1.cache_hit && r2.cache_hit);
+        assert!(engine.cache().bytes() > 0);
+        assert!(engine.cache().bytes() <= 16 << 20);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod planner;
 mod prepared;
 mod report;
 
-pub use cache::{CacheKey, CacheStats, PlanCache};
+pub use cache::{CacheBudget, CacheKey, CacheStats, PlanCache};
 pub use engine::{Engine, DEFAULT_CACHE_CAPACITY};
 pub use plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};
 pub use planner::{Planner, DENSE_ACC_COL_THRESHOLD, PARALLEL_ROW_THRESHOLD};

@@ -156,6 +156,19 @@ impl PreparedMatrix {
         self.unpermute.is_some()
     }
 
+    /// Approximate resident heap footprint in bytes: the operand's
+    /// nnz/pointer arrays plus the un-permutation map. Byte-bounded cache
+    /// eviction ([`crate::CacheBudget::Bytes`]) sizes entries with this.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let operand = match &self.operand {
+            Operand::RowWise(m) => m.memory_bytes(),
+            Operand::ClusterWise(cc) => cc.memory_bytes(),
+        };
+        let unpermute = self.unpermute.as_ref().map_or(0, |p| p.len() * size_of::<u32>());
+        size_of::<Self>() + operand + unpermute
+    }
+
     /// `C = A · b` using the materialized plan; rows of `C` come back in
     /// the original (pre-reordering) order.
     pub fn multiply(&self, b: &CsrMatrix) -> CsrMatrix {
@@ -238,6 +251,26 @@ mod tests {
                 ..Plan::baseline()
             },
         );
+    }
+
+    #[test]
+    fn approx_bytes_tracks_operand_size() {
+        let small = gen::grid::poisson2d(6, 6);
+        let large = gen::grid::poisson2d(24, 24);
+        let cfg = ClusterConfig::default();
+        let ps = PreparedMatrix::prepare(&small, Plan::baseline(), 7, &cfg);
+        let pl = PreparedMatrix::prepare(&large, Plan::baseline(), 7, &cfg);
+        assert!(ps.approx_bytes() > 0);
+        assert!(pl.approx_bytes() > ps.approx_bytes());
+        // A clustered + reordered preparation carries extra structure.
+        let plan = Plan {
+            reorder: Some(Reordering::Rcm),
+            clustering: ClusteringStrategy::Fixed(4),
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        let pc = PreparedMatrix::prepare(&large, plan, 7, &cfg);
+        assert!(pc.approx_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! **cw-service** — a threaded serving layer over [`cw_engine::Engine`]
+//! for repeated SpGEMM traffic.
+//!
+//! The paper's cluster-wise pipeline pays a one-time reordering/clustering
+//! cost that only amortizes under repeated multiplications (§4.5, Fig. 10)
+//! — exactly the serving scenario. [`SpgemmService`] turns the
+//! single-threaded engine into a concurrent front door:
+//!
+//! * **Submission queue with backpressure** — [`SpgemmService::submit`]
+//!   accepts [`MultiplyRequest`]s up to a configurable in-flight bound and
+//!   rejects the rest with [`SubmitError::Full`], so overload degrades into
+//!   fast failures instead of unbounded memory growth.
+//! * **Request batching** — a dispatcher thread coalesces requests that
+//!   share the same lhs fingerprint within a small batching window
+//!   ([`ServiceConfig::batch_window`]), so one prepared operand serves many
+//!   right-hand sides back to back.
+//! * **Sharded plan caches** — batches are routed by
+//!   [`cw_sparse::MatrixFingerprint::shard_index`] to a fixed pool of
+//!   worker shards, each owning its *own* [`cw_engine::Engine`] and
+//!   [`cw_engine::PlanCache`]. All traffic for one matrix lands on one
+//!   shard, so caches need no cross-thread locking at all.
+//! * **Observability** — every response carries a [`ServiceReport`]
+//!   (queue wait, batch size, cache outcome, per-stage
+//!   [`cw_engine::ExecutionReport`] timings), and
+//!   [`SpgemmService::stats`] aggregates throughput, p50/p99 latency from
+//!   a streaming reservoir, and per-shard cache hit rates.
+//!
+//! Everything is `std::thread` + `std::sync::mpsc` — no async runtime, in
+//! keeping with the workspace's offline vendored-dependency discipline.
+//!
+//! ```
+//! use cw_service::{MultiplyRequest, ServiceConfig, SpgemmService};
+//! use std::sync::Arc;
+//!
+//! let a = Arc::new(cw_sparse::gen::grid::poisson2d(12, 12));
+//! let service = SpgemmService::new(ServiceConfig::default());
+//!
+//! let ticket = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.product.nrows, a.nrows);
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod request;
+mod service;
+mod shard;
+mod stats;
+
+pub use request::{
+    MultiplyRequest, MultiplyResponse, ServiceError, ServiceReport, SubmitError, Ticket,
+};
+pub use service::{ServiceConfig, SpgemmService};
+pub use stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};

@@ -1,0 +1,199 @@
+//! Request/response types crossing the service boundary.
+
+use cw_engine::{ExecutionReport, Plan};
+use cw_sparse::CsrMatrix;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One multiply to serve: `C = lhs · rhs`, optionally under a forced plan.
+///
+/// Operands are `Arc`-shared so a request is cheap to move through the
+/// queue and many requests can reference the same lhs without copying —
+/// that sharing is what batch coalescing exploits.
+#[derive(Debug, Clone)]
+pub struct MultiplyRequest {
+    /// The `A` operand; requests with the same lhs fingerprint coalesce
+    /// into one batch and share one prepared operand.
+    pub lhs: Arc<CsrMatrix>,
+    /// The `B` operand.
+    pub rhs: Arc<CsrMatrix>,
+    /// `Some` forces this plan instead of the shard planner's choice
+    /// (ablations, cross-validation); `None` lets the planner decide.
+    pub plan: Option<Plan>,
+}
+
+impl MultiplyRequest {
+    /// Planner-chosen multiply request.
+    pub fn new(lhs: Arc<CsrMatrix>, rhs: Arc<CsrMatrix>) -> MultiplyRequest {
+        MultiplyRequest { lhs, rhs, plan: None }
+    }
+
+    /// Forces `plan` instead of the shard planner's choice.
+    pub fn with_plan(mut self, plan: Plan) -> MultiplyRequest {
+        self.plan = Some(plan);
+        self
+    }
+}
+
+/// Per-request serving telemetry attached to every response.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Service-assigned request id (monotonic per service instance).
+    pub request_id: u64,
+    /// Worker shard that executed the request.
+    pub shard: usize,
+    /// Number of requests in the coalesced batch this one rode in
+    /// (`1` = not coalesced).
+    pub batch_size: usize,
+    /// Seconds from submission until a worker started executing it
+    /// (queueing + batching-window wait).
+    pub queue_seconds: f64,
+    /// Seconds the worker spent executing it (prepare-or-cache-hit +
+    /// kernel + postprocess).
+    pub execute_seconds: f64,
+    /// End-to-end seconds from submission to response.
+    pub latency_seconds: f64,
+    /// Whether the prepared lhs came from the shard's plan cache.
+    pub cache_hit: bool,
+    /// The engine's per-stage report for the underlying multiply.
+    pub execution: ExecutionReport,
+}
+
+impl ServiceReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "req {} | shard {} | batch {} | queue {:.3}ms exec {:.3}ms | {}",
+            self.request_id,
+            self.shard,
+            self.batch_size,
+            self.queue_seconds * 1e3,
+            self.execute_seconds * 1e3,
+            self.execution.summary(),
+        )
+    }
+}
+
+/// A served multiply: the product and its [`ServiceReport`].
+#[derive(Debug, Clone)]
+pub struct MultiplyResponse {
+    /// `C = lhs · rhs`, rows in original order.
+    pub product: CsrMatrix,
+    /// Serving telemetry for this request.
+    pub report: ServiceReport,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded in-flight queue is at capacity; retry later
+    /// (backpressure, not failure).
+    Full,
+    /// `lhs.ncols != rhs.nrows`: the product is undefined. Rejected at
+    /// the front door so a malformed request can never reach (and panic)
+    /// a worker shard.
+    ShapeMismatch {
+        /// Columns of the submitted lhs.
+        lhs_ncols: usize,
+        /// Rows of the submitted rhs.
+        rhs_nrows: usize,
+    },
+    /// The service has begun shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "service queue is full"),
+            SubmitError::ShapeMismatch { lhs_ncols, rhs_nrows } => write!(
+                f,
+                "operand shapes do not compose: lhs has {lhs_ncols} cols, rhs has {rhs_nrows} rows"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted request produced no response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service was torn down before this request was executed.
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Disconnected => {
+                write!(f, "service shut down before the request completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Claim check for one accepted submission; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Result<MultiplyResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives (or the service is torn down).
+    pub fn wait(self) -> Result<MultiplyResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Disconnected))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<Result<MultiplyResponse, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::Disconnected)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_engine::Plan;
+
+    #[test]
+    fn request_builder_carries_forced_plan() {
+        let a = Arc::new(CsrMatrix::identity(4));
+        let req = MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a));
+        assert!(req.plan.is_none());
+        let req = req.with_plan(Plan::baseline());
+        assert_eq!(req.plan.unwrap().knobs(), Plan::baseline().knobs());
+    }
+
+    #[test]
+    fn errors_display_and_compare() {
+        assert_ne!(SubmitError::Full, SubmitError::ShuttingDown);
+        assert!(SubmitError::Full.to_string().contains("full"));
+        assert!(ServiceError::Disconnected.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn ticket_poll_reports_disconnect() {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { id: 9, rx };
+        assert_eq!(ticket.id(), 9);
+        assert!(ticket.poll().is_none(), "nothing sent yet");
+        drop(tx);
+        assert!(matches!(ticket.poll(), Some(Err(ServiceError::Disconnected))));
+        assert!(ticket.wait().is_err());
+    }
+}

@@ -1,0 +1,511 @@
+//! The service: submission queue → batching dispatcher → worker shards.
+
+use crate::request::{MultiplyRequest, SubmitError, Ticket};
+use crate::shard::{worker_loop, Batch, Completion, SlotGuard, Submission};
+use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};
+use cw_engine::{CacheBudget, Engine, PlanCache, Planner, DEFAULT_CACHE_CAPACITY};
+use cw_sparse::{fingerprint, MatrixFingerprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`SpgemmService`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker shards, each with a private engine + plan cache. Requests
+    /// route to shards by lhs fingerprint, so shard count also bounds how
+    /// many distinct operands prepare concurrently.
+    pub shards: usize,
+    /// Maximum requests in flight (queued + batching + executing); beyond
+    /// it [`SpgemmService::submit`] fails fast with [`SubmitError::Full`].
+    pub queue_capacity: usize,
+    /// How long the dispatcher holds the first pending request open for
+    /// companions before flushing (zero = dispatch immediately, no
+    /// coalescing across submissions).
+    pub batch_window: Duration,
+    /// A same-fingerprint group reaching this size flushes without waiting
+    /// out the window.
+    pub max_batch: usize,
+    /// Per-shard plan-cache bound.
+    pub cache_budget: CacheBudget,
+    /// Seed for each shard's planner (identical seeds ⇒ identical plans
+    /// and bit-identical results across shards and vs a direct engine).
+    pub seed: u64,
+    /// Latency reservoir size for p50/p99 estimation.
+    pub reservoir_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            queue_capacity: 256,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            cache_budget: CacheBudget::Entries(DEFAULT_CACHE_CAPACITY),
+            seed: Planner::default().seed,
+            reservoir_capacity: 1024,
+        }
+    }
+}
+
+/// Lifetime request counters shared between the front door and workers.
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: Arc<AtomicU64>,
+}
+
+/// A threaded SpGEMM serving layer over [`cw_engine::Engine`].
+///
+/// See the crate docs for the architecture. The service is `Sync`: share
+/// it behind an `Arc` and submit from any number of client threads.
+/// Dropping it (or calling [`SpgemmService::shutdown`]) drains in-flight
+/// requests gracefully before joining the worker threads.
+#[derive(Debug)]
+pub struct SpgemmService {
+    config: ServiceConfig,
+    submit_tx: Mutex<Option<Sender<Submission>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+    in_flight: Arc<AtomicUsize>,
+    counters: Counters,
+    shard_slots: Vec<Arc<Mutex<ShardStats>>>,
+    // One reservoir per shard: the owning worker's lock is uncontended on
+    // the hot path (stats() readers aside); merged for service quantiles.
+    reservoirs: Vec<Arc<Mutex<LatencyReservoir>>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counters")
+            .field("submitted", &self.submitted.load(Ordering::SeqCst))
+            .field("rejected", &self.rejected.load(Ordering::SeqCst))
+            .field("completed", &self.completed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl SpgemmService {
+    /// Spawns the dispatcher and `config.shards` worker threads.
+    /// Degenerate knobs are normalized up front (`shards`, `max_batch`,
+    /// and `queue_capacity` floors of 1), so [`SpgemmService::config`]
+    /// always reports what actually runs and a zero capacity cannot
+    /// produce a service that rejects everything forever.
+    pub fn new(mut config: ServiceConfig) -> SpgemmService {
+        config.shards = config.shards.max(1);
+        config.max_batch = config.max_batch.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        let shards = config.shards;
+        let completed = Arc::new(AtomicU64::new(0));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_slots = Vec::with_capacity(shards);
+        let mut reservoirs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Batch>();
+            let slot = Arc::new(Mutex::new(ShardStats { shard, ..ShardStats::default() }));
+            let reservoir = Arc::new(Mutex::new(LatencyReservoir::new(config.reservoir_capacity)));
+            let engine = Engine::with_cache(
+                Planner::with_seed(config.seed),
+                PlanCache::with_budget(config.cache_budget),
+            );
+            let completion = Completion { completed: Arc::clone(&completed) };
+            let (slot_c, reservoir_c) = (Arc::clone(&slot), Arc::clone(&reservoir));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cw-service-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, rx, engine, slot_c, reservoir_c, completion))
+                    .expect("spawn shard worker"),
+            );
+            shard_txs.push(tx);
+            shard_slots.push(slot);
+            reservoirs.push(reservoir);
+        }
+
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+        let (window, max_batch) = (config.batch_window, config.max_batch);
+        let dispatcher = std::thread::Builder::new()
+            .name("cw-service-dispatcher".to_string())
+            .spawn(move || dispatcher_loop(submit_rx, shard_txs, window, max_batch))
+            .expect("spawn dispatcher");
+
+        SpgemmService {
+            config,
+            submit_tx: Mutex::new(Some(submit_tx)),
+            dispatcher: Mutex::new(Some(dispatcher)),
+            workers: Mutex::new(workers),
+            next_id: AtomicU64::new(0),
+            in_flight,
+            counters: Counters {
+                submitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                completed,
+            },
+            shard_slots,
+            reservoirs,
+            started: Instant::now(),
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Requests currently queued, batching, or executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Submits a multiply. Returns a [`Ticket`] redeemable for the
+    /// response, [`SubmitError::ShapeMismatch`] when the operands do not
+    /// compose, [`SubmitError::Full`] when the in-flight bound is hit
+    /// (backpressure — retry later), or [`SubmitError::ShuttingDown`]
+    /// after [`SpgemmService::shutdown`] began.
+    pub fn submit(&self, request: MultiplyRequest) -> Result<Ticket, SubmitError> {
+        // Validate at the front door: a malformed pair must never reach
+        // (and panic) a worker shard.
+        if request.lhs.ncols != request.rhs.nrows {
+            return Err(SubmitError::ShapeMismatch {
+                lhs_ncols: request.lhs.ncols,
+                rhs_nrows: request.rhs.nrows,
+            });
+        }
+
+        // The mutex guards only the sender clone; fingerprinting and
+        // admission run outside it so concurrent clients don't serialize.
+        let tx = {
+            let guard = self.submit_tx.lock().unwrap();
+            guard.as_ref().ok_or(SubmitError::ShuttingDown)?.clone()
+        };
+
+        let cap = self.config.queue_capacity;
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1));
+        if admitted.is_err() {
+            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(SubmitError::Full);
+        }
+        // From here the slot is owned by the guard: any path that drops
+        // the submission unserved still releases it.
+        let slot = SlotGuard(Arc::clone(&self.in_flight));
+        // Counted at admission so `submitted >= completed` holds at every
+        // instant a reader can observe (workers only see the request after
+        // the send below).
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let fp = fingerprint(&request.lhs);
+        let (respond, rx) = mpsc::channel();
+        let submission = Submission {
+            id,
+            lhs: request.lhs,
+            rhs: request.rhs,
+            plan: request.plan,
+            fingerprint: fp,
+            submitted: Instant::now(),
+            respond,
+            _slot: slot,
+        };
+        if tx.send(submission).is_err() {
+            // Dispatcher is gone (tear-down raced this submit); the
+            // dropped submission's SlotGuard returned the slot, and the
+            // admission count is rolled back.
+            self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(Ticket { id, rx })
+    }
+
+    /// Point-in-time service statistics (callable any time, including
+    /// after shutdown).
+    pub fn stats(&self) -> ServiceStats {
+        let completed = self.counters.completed.load(Ordering::SeqCst);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let latency = {
+            let guards: Vec<_> = self.reservoirs.iter().map(|r| r.lock().unwrap()).collect();
+            LatencySummary::merged(guards.iter().map(|g| &**g))
+        };
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::SeqCst),
+            rejected: self.counters.rejected.load(Ordering::SeqCst),
+            completed,
+            elapsed_seconds: elapsed,
+            throughput_rps: completed as f64 / elapsed.max(1e-9),
+            latency,
+            shards: self.shard_slots.iter().map(|s| s.lock().unwrap().clone()).collect(),
+        }
+    }
+
+    /// Graceful shutdown: stops accepting work, flushes every pending
+    /// batch, serves all in-flight requests, joins the threads, and
+    /// returns the final statistics. Idempotent.
+    pub fn shutdown(&self) -> ServiceStats {
+        // Dropping the submit sender wakes the dispatcher with
+        // `Disconnected` once the queue drains; it flushes pending groups
+        // and hangs up on the shards, which drain and exit in turn.
+        drop(self.submit_tx.lock().unwrap().take());
+        if let Some(d) = self.dispatcher.lock().unwrap().take() {
+            let _ = d.join();
+        }
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for SpgemmService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The dispatcher: pulls submissions, groups them by lhs fingerprint, and
+/// flushes groups to shards when the batching window closes, a group hits
+/// `max_batch`, or the service shuts down.
+fn dispatcher_loop(
+    rx: Receiver<Submission>,
+    shard_txs: Vec<Sender<Batch>>,
+    window: Duration,
+    max_batch: usize,
+) {
+    let mut pending: HashMap<MatrixFingerprint, Vec<Submission>> = HashMap::new();
+    let mut deadline: Option<Instant> = None;
+    loop {
+        let received = match deadline {
+            // Nothing pending: sleep until traffic or shutdown.
+            None => match rx.recv() {
+                Ok(sub) => sub,
+                Err(_) => break,
+            },
+            // Window open: wait only until it closes.
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    flush_all(&mut pending, &shard_txs);
+                    deadline = None;
+                    continue;
+                }
+                match rx.recv_timeout(d - now) {
+                    Ok(sub) => sub,
+                    Err(RecvTimeoutError::Timeout) => {
+                        flush_all(&mut pending, &shard_txs);
+                        deadline = None;
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+
+        let fp = received.fingerprint;
+        let group = pending.entry(fp).or_default();
+        group.push(received);
+        if group.len() >= max_batch {
+            let items = pending.remove(&fp).expect("group just pushed");
+            send_batch(items, &shard_txs);
+            if pending.is_empty() {
+                deadline = None;
+            }
+        } else if window.is_zero() {
+            flush_all(&mut pending, &shard_txs);
+            deadline = None;
+        } else if deadline.is_none() {
+            deadline = Some(Instant::now() + window);
+        }
+    }
+    // Shutdown: serve whatever was still batching.
+    flush_all(&mut pending, &shard_txs);
+}
+
+/// Flushes every pending group as one batch each.
+fn flush_all(
+    pending: &mut HashMap<MatrixFingerprint, Vec<Submission>>,
+    shard_txs: &[Sender<Batch>],
+) {
+    for (_, items) in pending.drain() {
+        send_batch(items, shard_txs);
+    }
+}
+
+/// Routes one same-fingerprint batch to its shard. A send failure means
+/// the worker is gone (tear-down); dropping the items disconnects their
+/// response channels, which tickets observe as [`crate::ServiceError`].
+fn send_batch(items: Vec<Submission>, shard_txs: &[Sender<Batch>]) {
+    debug_assert!(!items.is_empty());
+    let shard = items[0].fingerprint.shard_index(shard_txs.len());
+    let _ = shard_txs[shard].send(Batch { items });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_sparse::gen;
+    use cw_sparse::CsrMatrix;
+    use cw_spgemm::spgemm_serial;
+
+    fn arc(m: CsrMatrix) -> Arc<CsrMatrix> {
+        Arc::new(m)
+    }
+
+    #[test]
+    fn single_request_round_trips_and_matches_baseline() {
+        let a = arc(gen::grid::poisson2d(10, 10));
+        let service = SpgemmService::new(ServiceConfig::default());
+        let ticket = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        let resp = ticket.wait().unwrap();
+        assert!(resp.product.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        assert!(!resp.report.cache_hit, "first request must prepare");
+        assert!(resp.report.latency_seconds >= resp.report.execute_seconds);
+        let stats = service.shutdown();
+        assert_eq!((stats.submitted, stats.completed, stats.rejected), (1, 1, 0));
+        assert_eq!(stats.latency.count, 1);
+    }
+
+    #[test]
+    fn same_lhs_requests_coalesce_into_one_batch() {
+        let a = arc(gen::grid::poisson2d(12, 12));
+        // A window far longer than the test makes the shutdown flush the
+        // only dispatch trigger, so the batch composition is deterministic
+        // even on a stalled CI machine.
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            batch_window: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.report.batch_size, 4, "all four must ride one batch");
+        }
+        assert_eq!(stats.coalesced_batches(), 1);
+        assert_eq!(stats.max_batch_size(), 4);
+        let cache = stats.total_cache();
+        assert_eq!(cache.misses, 1, "one preparation");
+        assert_eq!(cache.hits, 3, "three cache hits");
+    }
+
+    #[test]
+    fn zero_window_dispatches_each_submission_alone() {
+        let a = arc(gen::grid::poisson2d(9, 9));
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            batch_window: Duration::ZERO,
+            ..ServiceConfig::default()
+        });
+        for _ in 0..3 {
+            let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.report.batch_size, 1);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.coalesced_batches(), 0);
+        // Coalescing is off but the shard cache still amortizes.
+        assert_eq!(stats.total_cache().hits, 2);
+    }
+
+    #[test]
+    fn max_batch_flushes_a_group_early() {
+        let a = arc(gen::grid::poisson2d(8, 8));
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            max_batch: 2,
+            // Window long enough that only max_batch can be the trigger.
+            batch_window: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let t1 = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        let t2 = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        assert_eq!(t1.wait().unwrap().report.batch_size, 2);
+        assert_eq!(t2.wait().unwrap().report.batch_size, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn forced_plan_requests_execute_that_plan() {
+        let a = arc(gen::grid::poisson2d(9, 9));
+        let plan = cw_engine::Plan {
+            clustering: cw_engine::ClusteringStrategy::Fixed(4),
+            kernel: cw_engine::KernelChoice::ClusterWise,
+            ..cw_engine::Plan::baseline()
+        };
+        let service = SpgemmService::new(ServiceConfig::default());
+        let t = service
+            .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_plan(plan))
+            .unwrap();
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.report.execution.plan.knobs(), plan.knobs());
+        assert!(resp.product.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_at_submit_and_shards_survive() {
+        let a = arc(gen::grid::poisson2d(10, 10)); // 100 × 100
+        let bad = arc(gen::grid::poisson2d(5, 5)); // 25 × 25
+        let service = SpgemmService::new(ServiceConfig::default());
+        let err =
+            service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&bad))).unwrap_err();
+        assert_eq!(err, SubmitError::ShapeMismatch { lhs_ncols: 100, rhs_nrows: 25 });
+        assert_eq!(service.in_flight(), 0, "rejected request must not hold a queue slot");
+        // The shards never saw the malformed pair and keep serving.
+        let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        assert!(t.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!((stats.submitted, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let a = arc(gen::grid::poisson2d(6, 6));
+        let service = SpgemmService::new(ServiceConfig::default());
+        service.shutdown();
+        let err = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        // Shutdown is idempotent.
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn service_is_shareable_across_client_threads() {
+        let service = Arc::new(SpgemmService::new(ServiceConfig {
+            shards: 2,
+            batch_window: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        }));
+        let mats: Vec<Arc<CsrMatrix>> =
+            (0..4).map(|s| arc(gen::er::erdos_renyi(80, 4, s))).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let a = Arc::clone(&mats[i]);
+                std::thread::spawn(move || {
+                    let t = service
+                        .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)))
+                        .unwrap();
+                    let resp = t.wait().unwrap();
+                    assert!(resp.product.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Worker shards: each owns an [`Engine`] (and thus a private plan cache)
+//! and drains coalesced batches off its channel.
+//!
+//! Because the dispatcher routes every request for a given lhs fingerprint
+//! to the same shard, a shard's cache sees *all* traffic for its matrices
+//! and *only* that traffic — no cross-thread cache locking, no duplicate
+//! preparations of one operand on two shards.
+//!
+//! Within a batch, consecutive requests that share the *same* `Arc`'d lhs
+//! (pointer identity — a strict identity proof, no hashing needed) and the
+//! same plan source reuse the head request's prepared operand directly,
+//! skipping even the engine's per-call fingerprint + `O(nnz)` checksum
+//! verification. That is the batching payoff: one lookup, many kernels.
+
+use crate::request::{MultiplyResponse, ServiceError, ServiceReport};
+use crate::stats::{LatencyReservoir, ShardStats};
+use cw_engine::{Engine, ExecutionReport, Plan, PlanKnobs, PreparedMatrix, StageTimings};
+use cw_sparse::{CsrMatrix, MatrixFingerprint};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// RAII claim on one queue-capacity slot: decrements `in_flight` exactly
+/// once, when dropped. Because every [`Submission`] carries one, a
+/// submission dropped *unserved* (a worker died, a teardown raced a
+/// dispatch) still returns its slot — the backpressure bound can never
+/// leak shut.
+pub(crate) struct SlotGuard(pub(crate) Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One accepted request traveling through the service internals.
+pub(crate) struct Submission {
+    pub(crate) id: u64,
+    pub(crate) lhs: Arc<CsrMatrix>,
+    pub(crate) rhs: Arc<CsrMatrix>,
+    pub(crate) plan: Option<Plan>,
+    pub(crate) fingerprint: MatrixFingerprint,
+    pub(crate) submitted: Instant,
+    pub(crate) respond: Sender<Result<MultiplyResponse, ServiceError>>,
+    /// Held only for its drop effect (releasing the queue slot).
+    pub(crate) _slot: SlotGuard,
+}
+
+/// A group of submissions sharing one lhs fingerprint, bound for one shard.
+pub(crate) struct Batch {
+    pub(crate) items: Vec<Submission>,
+}
+
+/// Shared completion counter (queue capacity itself is released by each
+/// submission's [`SlotGuard`], served or not).
+pub(crate) struct Completion {
+    pub(crate) completed: Arc<AtomicU64>,
+}
+
+/// Drains batches until the dispatcher hangs up, then exits. Responses go
+/// straight to each request's private channel; per-batch counters and a
+/// cache snapshot land in `slot` so [`crate::SpgemmService::stats`] can
+/// read them without talking to the thread.
+pub(crate) fn worker_loop(
+    shard: usize,
+    rx: Receiver<Batch>,
+    mut engine: Engine,
+    slot: Arc<Mutex<ShardStats>>,
+    reservoir: Arc<Mutex<LatencyReservoir>>,
+    completion: Completion,
+) {
+    // Requests served from a batch-shared prepared operand, counted into
+    // the shard's hit statistics (they bypass the engine cache entirely).
+    let mut reuse_hits: u64 = 0;
+    while let Ok(batch) = rx.recv() {
+        let batch_size = batch.items.len();
+        // Head request's resolved operand, reusable by identical followers.
+        let mut head: Option<(Arc<CsrMatrix>, Option<PlanKnobs>, Arc<PreparedMatrix>)> = None;
+        for sub in batch.items {
+            let started = Instant::now();
+            let queue_seconds = started.saturating_duration_since(sub.submitted).as_secs_f64();
+            let plan_knobs = sub.plan.map(|p| p.knobs());
+            let reused = matches!(
+                &head,
+                Some((lhs0, knobs0, _)) if Arc::ptr_eq(lhs0, &sub.lhs) && *knobs0 == plan_knobs
+            );
+            let (prepared, prep_timings, cache_hit) = if reused {
+                reuse_hits += 1;
+                let (_, _, prep) = head.as_ref().expect("reused implies head");
+                (Arc::clone(prep), StageTimings::default(), true)
+            } else {
+                let (prep, timings, hit) = engine.prepare_with(&sub.lhs, sub.plan);
+                head = Some((Arc::clone(&sub.lhs), plan_knobs, Arc::clone(&prep)));
+                (prep, timings, hit)
+            };
+            let (product, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(&sub.rhs);
+            let execution = ExecutionReport {
+                plan: prepared.plan,
+                fingerprint: prepared.fingerprint,
+                cache_hit,
+                timings: StageTimings { kernel_seconds, postprocess_seconds, ..prep_timings },
+                output_nnz: product.nnz(),
+            };
+            let execute_seconds = started.elapsed().as_secs_f64();
+            let latency_seconds = sub.submitted.elapsed().as_secs_f64();
+            reservoir.lock().unwrap().record(latency_seconds);
+            let report = ServiceReport {
+                request_id: sub.id,
+                shard,
+                batch_size,
+                queue_seconds,
+                execute_seconds,
+                latency_seconds,
+                cache_hit: execution.cache_hit,
+                execution,
+            };
+            // A dropped Ticket is fine: the response is simply discarded.
+            let _ = sub.respond.send(Ok(MultiplyResponse { product, report }));
+            completion.completed.fetch_add(1, Ordering::SeqCst);
+            // `sub` (and its SlotGuard) drops here, releasing the queue
+            // slot only after the response is delivered.
+        }
+        let mut s = slot.lock().unwrap();
+        s.batches += 1;
+        if batch_size > 1 {
+            s.coalesced_batches += 1;
+        }
+        s.requests += batch_size as u64;
+        s.max_batch_size = s.max_batch_size.max(batch_size);
+        // Hit/miss semantics: "request served from an already-prepared
+        // operand" — engine cache hits plus within-batch reuses.
+        s.cache = engine.cache_stats();
+        s.cache.hits += reuse_hits;
+        s.cached_operands = engine.cached_operands();
+        s.cached_bytes = engine.cache().bytes();
+    }
+}

@@ -1,0 +1,332 @@
+//! Service-level statistics: streaming latency quantiles and per-shard
+//! counters.
+
+use cw_engine::CacheStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed-size uniform latency sample (Vitter's Algorithm R) over an
+/// unbounded request stream, in `O(capacity)` memory. The internal RNG is
+/// seeded, not OS-entropy, so a given record sequence reproduces exactly.
+/// Each worker shard owns one (no cross-shard locking on the hot path);
+/// [`LatencySummary::merged`] combines them for service-wide quantiles.
+#[derive(Debug, Clone)]
+pub struct LatencyReservoir {
+    capacity: usize,
+    seen: u64,
+    rng: SmallRng,
+    samples: Vec<f64>,
+}
+
+impl LatencyReservoir {
+    /// Reservoir keeping at most `capacity` samples (`0` keeps none but
+    /// still counts observations).
+    pub fn new(capacity: usize) -> LatencyReservoir {
+        LatencyReservoir {
+            capacity,
+            seen: 0,
+            rng: SmallRng::seed_from_u64(0x5EED_1E55_C0FF_EE00),
+            samples: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Observes one latency (seconds).
+    pub fn record(&mut self, seconds: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(seconds);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        // Replace a random resident with probability capacity/seen.
+        let j = self.rng.gen_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.samples[j as usize] = seconds;
+        }
+    }
+
+    /// Total observations (including ones not resident in the sample).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Resident samples (unordered).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Summarizes the current sample into quantiles.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::merged([self])
+    }
+}
+
+/// Latency quantiles over the sampled request stream, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Observations recorded (sampled + unsampled).
+    pub count: u64,
+    /// Median end-to-end latency.
+    pub p50_seconds: f64,
+    /// 90th-percentile latency.
+    pub p90_seconds: f64,
+    /// 99th-percentile latency.
+    pub p99_seconds: f64,
+    /// Worst resident sample.
+    pub max_seconds: f64,
+}
+
+impl LatencySummary {
+    /// Quantiles over the union of several reservoirs' samples, each
+    /// sample weighted by how many observations it stands for
+    /// (`seen / resident`) — a capped reservoir on a hot shard represents
+    /// far more traffic per sample than an uncapped one on a cold shard,
+    /// and unweighted pooling would bias service-wide quantiles toward
+    /// low-traffic shards. `count` sums every observation, resident or
+    /// not. How the service aggregates its per-shard reservoirs.
+    pub fn merged<'a>(
+        reservoirs: impl IntoIterator<Item = &'a LatencyReservoir>,
+    ) -> LatencySummary {
+        let mut weighted: Vec<(f64, f64)> = Vec::new();
+        let mut count = 0;
+        for r in reservoirs {
+            count += r.count();
+            let resident = r.samples().len();
+            if resident > 0 {
+                let w = r.count() as f64 / resident as f64;
+                weighted.extend(r.samples().iter().map(|&s| (s, w)));
+            }
+        }
+        if weighted.is_empty() {
+            return LatencySummary { count, ..LatencySummary::default() };
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total_weight: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let q = |frac: f64| {
+            let target = frac * total_weight;
+            let mut acc = 0.0;
+            for &(v, w) in &weighted {
+                acc += w;
+                if acc >= target {
+                    return v;
+                }
+            }
+            weighted.last().unwrap().0
+        };
+        LatencySummary {
+            count,
+            p50_seconds: q(0.50),
+            p90_seconds: q(0.90),
+            p99_seconds: q(0.99),
+            max_seconds: weighted.last().unwrap().0,
+        }
+    }
+}
+
+/// Counters for one worker shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches holding more than one request (coalescing actually paid).
+    pub coalesced_batches: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Largest batch served.
+    pub max_batch_size: usize,
+    /// Requests served from an already-prepared operand: the shard
+    /// engine's plan-cache counters, with within-batch operand reuses
+    /// counted as additional hits.
+    pub cache: CacheStats,
+    /// Prepared operands currently resident in the shard cache.
+    pub cached_operands: usize,
+    /// Resident bytes in the shard cache.
+    pub cached_bytes: usize,
+}
+
+/// Point-in-time snapshot of a running (or drained) service.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected with [`crate::SubmitError::Full`].
+    pub rejected: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Seconds since the service started.
+    pub elapsed_seconds: f64,
+    /// Completed requests per second of service lifetime.
+    pub throughput_rps: f64,
+    /// End-to-end latency quantiles from the streaming reservoir.
+    pub latency: LatencySummary,
+    /// Per-shard batch/cache counters.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Cache counters summed across every shard.
+    pub fn total_cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.hits += s.cache.hits;
+            total.misses += s.cache.misses;
+            total.collisions += s.cache.collisions;
+            total.evictions += s.cache.evictions;
+            total.insertions += s.cache.insertions;
+        }
+        total
+    }
+
+    /// Batches across every shard that coalesced more than one request.
+    pub fn coalesced_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.coalesced_batches).sum()
+    }
+
+    /// Largest batch served by any shard.
+    pub fn max_batch_size(&self) -> usize {
+        self.shards.iter().map(|s| s.max_batch_size).max().unwrap_or(0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "served {}/{} (rejected {}) | {:.1} req/s | p50 {:.3}ms p99 {:.3}ms | \
+             cache hit rate {:.2} | coalesced batches {} (max {})",
+            self.completed,
+            self.submitted,
+            self.rejected,
+            self.throughput_rps,
+            self.latency.p50_seconds * 1e3,
+            self.latency.p99_seconds * 1e3,
+            self.total_cache().hit_rate(),
+            self.coalesced_batches(),
+            self.max_batch_size(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_exact_below_capacity() {
+        let mut r = LatencyReservoir::new(128);
+        for i in 1..=100 {
+            r.record(i as f64 / 1000.0);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.p50_seconds - 0.050).abs() < 0.002, "p50 {}", s.p50_seconds);
+        assert!((s.p99_seconds - 0.099).abs() < 0.002, "p99 {}", s.p99_seconds);
+        assert_eq!(s.max_seconds, 0.100);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_and_plausible_beyond_capacity() {
+        let mut r = LatencyReservoir::new(64);
+        for i in 0..10_000 {
+            r.record((i % 100) as f64);
+        }
+        assert_eq!(r.count(), 10_000);
+        let s = r.summary();
+        // Uniform values in [0, 99]: the sampled median must land inside
+        // the support, not at either extreme.
+        assert!(s.p50_seconds >= 0.0 && s.p50_seconds <= 99.0);
+        assert!(s.p50_seconds > 10.0 && s.p50_seconds < 90.0, "p50 {}", s.p50_seconds);
+        assert!(s.max_seconds <= 99.0);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let run = || {
+            let mut r = LatencyReservoir::new(32);
+            for i in 0..1000 {
+                r.record((i * 7 % 97) as f64);
+            }
+            r.summary()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merged_summary_spans_all_reservoirs() {
+        let mut low = LatencyReservoir::new(64);
+        let mut high = LatencyReservoir::new(64);
+        for i in 1..=50 {
+            low.record(i as f64);
+            high.record((i + 100) as f64);
+        }
+        let merged = LatencySummary::merged([&low, &high]);
+        assert_eq!(merged.count, 100);
+        assert_eq!(merged.max_seconds, 150.0);
+        // The median straddles the two populations.
+        assert!(merged.p50_seconds >= 50.0 && merged.p50_seconds <= 101.0);
+        // Single-reservoir summary is the merged view of just itself.
+        assert_eq!(low.summary(), LatencySummary::merged([&low]));
+    }
+
+    #[test]
+    fn merged_summary_weights_shards_by_traffic() {
+        // Hot shard: 1000 fast requests squeezed into 4 resident samples
+        // (weight 250 each). Cold shard: 4 slow requests, fully resident
+        // (weight 1 each). Quantiles must follow the traffic, not the
+        // resident sample counts.
+        let mut hot = LatencyReservoir::new(4);
+        for _ in 0..1000 {
+            hot.record(0.001);
+        }
+        let mut cold = LatencyReservoir::new(4);
+        for _ in 0..4 {
+            cold.record(0.100);
+        }
+        let merged = LatencySummary::merged([&hot, &cold]);
+        assert_eq!(merged.count, 1004);
+        assert_eq!(merged.p50_seconds, 0.001, "p50 must track the hot shard");
+        assert_eq!(merged.p99_seconds, 0.001, "99% of traffic was fast");
+        assert_eq!(merged.max_seconds, 0.100, "max still surfaces the cold shard");
+    }
+
+    #[test]
+    fn empty_and_zero_capacity_reservoirs() {
+        assert_eq!(LatencyReservoir::new(16).summary(), LatencySummary::default());
+        let mut r = LatencyReservoir::new(0);
+        r.record(1.0);
+        assert_eq!(r.count(), 1);
+        // No resident samples to quantile, but the observation count is
+        // still reported.
+        assert_eq!(r.summary(), LatencySummary { count: 1, ..LatencySummary::default() });
+    }
+
+    #[test]
+    fn service_stats_aggregate_across_shards() {
+        let mk = |shard, hits, misses, coalesced, max_b| ShardStats {
+            shard,
+            batches: 4,
+            coalesced_batches: coalesced,
+            requests: 10,
+            max_batch_size: max_b,
+            cache: CacheStats { hits, misses, ..CacheStats::default() },
+            ..ShardStats::default()
+        };
+        let stats = ServiceStats {
+            submitted: 20,
+            rejected: 2,
+            completed: 20,
+            elapsed_seconds: 2.0,
+            throughput_rps: 10.0,
+            latency: LatencySummary::default(),
+            shards: vec![mk(0, 6, 4, 1, 3), mk(1, 9, 1, 2, 5)],
+        };
+        let total = stats.total_cache();
+        assert_eq!((total.hits, total.misses), (15, 5));
+        assert!((total.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.coalesced_batches(), 3);
+        assert_eq!(stats.max_batch_size(), 5);
+        assert!(stats.summary().contains("req/s"));
+    }
+}

@@ -33,6 +33,29 @@ pub struct MatrixFingerprint {
     pub structure_hash: u64,
 }
 
+impl MatrixFingerprint {
+    /// A well-mixed 64-bit routing key folding in every fingerprint field.
+    /// Sharded serving layers route operands to workers by this value so
+    /// all requests on one matrix land on the same shard (and its plan
+    /// cache) without cross-shard locking. The extra mixing matters:
+    /// `structure_hash` alone is already avalanche-mixed, but small
+    /// matrices with few samples lean on `nrows`/`ncols`/`nnz`, which are
+    /// nearly collinear across a family of generators.
+    pub fn route_hash(&self) -> u64 {
+        let mut h = self.structure_hash;
+        h = mix(h, self.nrows);
+        h = mix(h, self.ncols);
+        h = mix(h, self.nnz);
+        h
+    }
+
+    /// Maps this fingerprint onto one of `shards` workers
+    /// (`shards == 0` is treated as a single shard).
+    pub fn shard_index(&self, shards: usize) -> usize {
+        (self.route_hash() % shards.max(1) as u64) as usize
+    }
+}
+
 /// SplitMix64 finalizer — strong bit avalanche for cheap mixing.
 #[inline]
 fn mix(h: u64, x: u64) -> u64 {
@@ -175,6 +198,26 @@ mod tests {
             assert_ne!(checksum(&b), base, "edit at {idx} missed");
         }
         assert_eq!(checksum(&a), base, "checksum must be deterministic");
+    }
+
+    #[test]
+    fn route_hash_spreads_a_matrix_family_across_shards() {
+        // Eight same-family matrices must not all route to one of four
+        // shards — the whole point of the extra mixing.
+        let fps: Vec<_> = (0..8).map(|s| fingerprint(&erdos_renyi(150, 5, s))).collect();
+        let mut hit = [false; 4];
+        for fp in &fps {
+            let shard = fp.shard_index(4);
+            assert!(shard < 4);
+            hit[shard] = true;
+        }
+        assert!(hit.iter().filter(|h| **h).count() >= 2, "all matrices routed to one shard");
+        // Routing is deterministic and total over shard counts.
+        for fp in &fps {
+            assert_eq!(fp.shard_index(4), fp.shard_index(4));
+            assert_eq!(fp.shard_index(0), 0, "zero shards degrades to a single shard");
+            assert_eq!(fp.shard_index(1), 0);
+        }
     }
 
     #[test]

@@ -8,12 +8,21 @@
 //!
 //! This crate is a facade re-exporting the workspace members:
 //!
+//! * [`service`] — **the serving layer**: a threaded `SpgemmService` over
+//!   the engine for concurrent traffic. A bounded submission queue with
+//!   backpressure feeds a dispatcher that coalesces requests sharing one
+//!   lhs fingerprint into batches, routes them to worker shards (each with
+//!   a private engine + plan cache — no cross-thread cache locking), and
+//!   answers every request with a `ServiceReport` (queue wait, batch size,
+//!   cache outcome, per-stage timings) plus service-wide throughput and
+//!   p50/p99 latency stats.
 //! * [`engine`] — **the front door**: an adaptive plan/prepare/execute
 //!   pipeline. A `Planner` profiles the operand and picks reordering ×
 //!   clustering × kernel × accumulator; `PreparedMatrix` materializes that
-//!   plan once; a fingerprint-keyed `PlanCache` lets repeated traffic on
-//!   the same matrix skip preprocessing entirely; `Engine::multiply`
-//!   executes under rayon and reports per-stage timings.
+//!   plan once; a fingerprint-keyed `PlanCache` (entry- or byte-bounded)
+//!   lets repeated traffic on the same matrix skip preprocessing entirely;
+//!   `Engine::multiply` executes under rayon and reports per-stage
+//!   timings.
 //! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
 //!   synthetic matrix generators, structural statistics, and the matrix
 //!   fingerprints keying the engine's plan cache.
@@ -70,6 +79,26 @@
 //! assert!(c_first.numerically_eq(&c_again, 0.0));
 //! assert!(c_first.numerically_eq(&spgemm(&a, &a), 1e-9));
 //! ```
+//!
+//! ## Quickstart: the serving layer (concurrent traffic)
+//!
+//! Under concurrent traffic, put `SpgemmService` in front: it batches
+//! same-operand requests, shards them across worker engines by
+//! fingerprint, and reports per-request and service-wide telemetry (see
+//! `examples/spgemm_service.rs` for the full tour):
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let a = Arc::new(clusterwise_spgemm::sparse::gen::grid::poisson2d(12, 12));
+//! let service = SpgemmService::new(ServiceConfig::default());
+//! let ticket = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert!(response.product.numerically_eq(&spgemm(&a, &a), 1e-9));
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,6 +109,7 @@ pub use cw_datasets as datasets;
 pub use cw_engine as engine;
 pub use cw_partition as partition;
 pub use cw_reorder as reorder;
+pub use cw_service as service;
 pub use cw_sparse as sparse;
 pub use cw_spgemm as spgemm;
 
@@ -90,9 +120,11 @@ pub mod prelude {
         ClusterConfig, Clustering, CsrCluster,
     };
     pub use cw_engine::{
-        Engine, ExecutionReport, KernelChoice, Plan, PlanCache, Planner, PreparedMatrix,
+        CacheBudget, Engine, ExecutionReport, KernelChoice, Plan, PlanCache, Planner,
+        PreparedMatrix,
     };
     pub use cw_reorder::Reordering;
+    pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};
     pub use cw_sparse::{fingerprint, CooMatrix, CscMatrix, CsrMatrix, Permutation};
     pub use cw_spgemm::{spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions};
 }

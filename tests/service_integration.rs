@@ -1,0 +1,263 @@
+//! Cross-validation of the `cw-service` serving layer against direct
+//! `Engine` execution, plus the service's concurrency edge cases:
+//!
+//! * served results are **bit-identical** to `Engine::multiply` /
+//!   `Engine::multiply_planned` for every planner branch (all advisor
+//!   suggestions and all ten reordering algorithms);
+//! * a 4-shard service under a 64-request mixed-fingerprint load serves
+//!   everything, coalesces at least one batch, and hits shard caches;
+//! * backpressure (`SubmitError::Full`), graceful shutdown with in-flight
+//!   requests, and mixed-fingerprint batch separation.
+
+use clusterwise_spgemm::engine::Suggestion;
+use clusterwise_spgemm::prelude::*;
+use clusterwise_spgemm::service::{ServiceError, SubmitError};
+use clusterwise_spgemm::sparse::gen;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Structural families covering every branch of the advisor's decision
+/// surface (mirrors `tests/engine_integration.rs`).
+fn corpus() -> Vec<(&'static str, Arc<CsrMatrix>)> {
+    vec![
+        ("scrambled_mesh", Arc::new(gen::mesh::tri_mesh(12, 12, true, 3))),
+        ("poisson2d", Arc::new(gen::grid::poisson2d(12, 12))),
+        ("block_diagonal", Arc::new(gen::banded::block_diagonal(96, (4, 8), 0.1, 5))),
+        ("grouped_rows", Arc::new(gen::banded::grouped_rows(90, 5, 6, 2))),
+        ("erdos_renyi", Arc::new(gen::er::erdos_renyi(120, 5, 9))),
+        ("kkt", Arc::new(gen::kkt::kkt(70, 20, 2, 3, 8))),
+    ]
+}
+
+/// Serves `lhs · rhs` under `plan` and direct-executes the same plan on a
+/// fresh engine; the two products must match bit for bit.
+fn assert_served_bit_identical(
+    service: &SpgemmService,
+    name: &str,
+    lhs: &Arc<CsrMatrix>,
+    plan: Option<Plan>,
+) {
+    let mut engine = Engine::default();
+    let (direct, _) = match plan {
+        None => engine.multiply(lhs, lhs),
+        Some(p) => engine.multiply_planned(lhs, lhs, p),
+    };
+    let mut request = MultiplyRequest::new(Arc::clone(lhs), Arc::clone(lhs));
+    if let Some(p) = plan {
+        request = request.with_plan(p);
+    }
+    let served = service.submit(request).unwrap().wait().unwrap();
+    assert!(
+        served.product.numerically_eq(&direct, 0.0),
+        "{name}: served product is not bit-identical to direct engine execution under {}",
+        served.report.execution.plan.describe(),
+    );
+}
+
+#[test]
+fn served_results_are_bit_identical_for_every_planner_branch() {
+    let service = SpgemmService::new(ServiceConfig::default());
+    let planner = Planner::default();
+    for (name, a) in corpus() {
+        // The planner's natural choice…
+        assert_served_bit_identical(&service, name, &a, None);
+        // …and every explicit advisor branch.
+        for suggestion in
+            [Suggestion::LeaveOriginal, Suggestion::ClusterInPlace, Suggestion::Hierarchical]
+        {
+            let plan = planner.plan_for_suggestion(&a, suggestion);
+            assert_served_bit_identical(&service, name, &a, Some(plan));
+        }
+    }
+    // The Reorder branch, across all ten algorithms of the paper's study.
+    let (name, a) = ("scrambled_mesh", Arc::new(gen::mesh::tri_mesh(10, 10, true, 1)));
+    for algo in Reordering::all_ten() {
+        let plan = planner.plan_for_suggestion(&a, Suggestion::Reorder(algo));
+        assert_served_bit_identical(&service, name, &a, Some(plan));
+    }
+    service.shutdown();
+}
+
+#[test]
+fn served_rectangular_rhs_matches_direct_engine() {
+    let a = Arc::new(gen::er::erdos_renyi(60, 5, 3));
+    let b = Arc::new(gen::er::erdos_renyi_rect(60, 14, 3, 4));
+    let mut engine = Engine::default();
+    let (direct, _) = engine.multiply(&a, &b);
+    let service = SpgemmService::new(ServiceConfig::default());
+    let served = service
+        .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&b)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(served.product.numerically_eq(&direct, 0.0));
+    assert_eq!(served.product.ncols, 14);
+    service.shutdown();
+}
+
+#[test]
+fn four_shard_mixed_fingerprint_load_coalesces_and_hits_caches() {
+    // 8 distinct operands × 8 requests each = 64 in-flight submissions
+    // sharing one batching window across 4 shards. The window is far
+    // longer than the test, so the shutdown flush is the only dispatch
+    // trigger and the batch composition is deterministic even on a
+    // stalled CI machine.
+    let mats: Vec<Arc<CsrMatrix>> =
+        (0..8).map(|s| Arc::new(gen::er::erdos_renyi(100, 4, s))).collect();
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 4,
+        queue_capacity: 128,
+        batch_window: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    let mut tickets = Vec::new();
+    for _ in 0..8 {
+        for a in &mats {
+            tickets
+                .push(service.submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a))).unwrap());
+        }
+    }
+    assert_eq!(tickets.len(), 64);
+    let stats = service.shutdown();
+
+    let mut max_batch_seen = 0usize;
+    let mut cache_hits_seen = 0usize;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().unwrap();
+        let a = &mats[i % mats.len()];
+        let expect = spgemm_serial(a, a);
+        assert!(resp.product.numerically_eq(&expect, 1e-9), "request {i} wrong product");
+        max_batch_seen = max_batch_seen.max(resp.report.batch_size);
+        cache_hits_seen += resp.report.cache_hit as usize;
+    }
+    assert_eq!(stats.completed, 64, "every request must complete");
+    assert_eq!(stats.rejected, 0);
+    assert!(max_batch_seen > 1, "at least one coalesced batch (size > 1) required");
+    assert!(stats.coalesced_batches() >= 1);
+    assert!(cache_hits_seen > 0, "repeated operands must produce cache hits");
+    assert!(stats.total_cache().hits > 0);
+    // All 64 requests are accounted for across the shards, and at most 8
+    // preparations happened service-wide (one per distinct operand).
+    assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 64);
+    assert!(stats.total_cache().misses <= 8);
+    assert_eq!(stats.latency.count, 64);
+}
+
+#[test]
+fn bounded_queue_rejects_overload_with_full() {
+    let a = Arc::new(gen::grid::poisson2d(8, 8));
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 1,
+        // Window far longer than the test: the first request provably
+        // still holds the only queue slot when the second arrives, and
+        // only the shutdown flush serves it.
+        batch_window: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    let first = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+    let err = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap_err();
+    assert_eq!(err, SubmitError::Full);
+    let stats = service.shutdown();
+    // Backpressure is not failure: the accepted request still completes…
+    assert!(first.wait().is_ok());
+    // …and the books record one rejection, one completion.
+    assert_eq!((stats.submitted, stats.completed, stats.rejected), (1, 1, 1));
+}
+
+#[test]
+fn shutdown_flushes_in_flight_requests_before_joining() {
+    let a = Arc::new(gen::grid::poisson2d(10, 10));
+    let b = Arc::new(gen::mesh::tri_mesh(10, 10, true, 2));
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 2,
+        // A window far longer than the test: only shutdown's flush can
+        // dispatch these requests.
+        batch_window: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    let mut tickets = Vec::new();
+    for _ in 0..3 {
+        tickets.push(service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap());
+        tickets.push(service.submit(MultiplyRequest::new(Arc::clone(&b), Arc::clone(&b))).unwrap());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 6, "shutdown must serve in-flight requests, not drop them");
+    assert_eq!(service.in_flight(), 0, "every queue slot must be released after the drain");
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().expect("in-flight request must resolve after shutdown");
+        let expect = if i % 2 == 0 { spgemm_serial(&a, &a) } else { spgemm_serial(&b, &b) };
+        assert!(resp.product.numerically_eq(&expect, 1e-9), "request {i}");
+        // The flush preserved coalescing: each fingerprint group rode one
+        // 3-request batch.
+        assert_eq!(resp.report.batch_size, 3, "request {i}");
+    }
+    assert_eq!(
+        service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap_err(),
+        SubmitError::ShuttingDown,
+    );
+}
+
+#[test]
+fn mixed_fingerprint_submissions_batch_only_with_their_own_kind() {
+    let a = Arc::new(gen::grid::poisson2d(9, 9));
+    let b = Arc::new(gen::er::erdos_renyi(81, 4, 7));
+    // Window far longer than the test: only the shutdown flush
+    // dispatches, so group composition is deterministic.
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 1,
+        batch_window: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    // Interleave: a, b, a, b, a — one window, two groups.
+    let mut tickets = Vec::new();
+    for i in 0..3 {
+        let t_a = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        tickets.push((t_a, 3usize));
+        if i < 2 {
+            let t_b = service.submit(MultiplyRequest::new(Arc::clone(&b), Arc::clone(&b))).unwrap();
+            tickets.push((t_b, 2usize));
+        }
+    }
+    let stats = service.shutdown();
+    for (ticket, expected_batch) in tickets {
+        let resp = ticket.wait().unwrap();
+        assert_eq!(
+            resp.report.batch_size, expected_batch,
+            "a batch must hold exactly its own fingerprint group"
+        );
+    }
+    assert_eq!(stats.total_cache().misses, 2, "one preparation per distinct operand");
+    assert_eq!(stats.total_cache().hits, 3);
+    service.shutdown(); // idempotent
+}
+
+#[test]
+fn dropped_ticket_does_not_stall_the_service() {
+    let a = Arc::new(gen::grid::poisson2d(8, 8));
+    let service = SpgemmService::new(ServiceConfig::default());
+    drop(service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap());
+    // The dropped request still executes and releases its queue slot.
+    let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+    assert!(t.wait().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(service.in_flight(), 0);
+}
+
+#[test]
+fn admitted_requests_resolve_ok_even_when_waited_after_shutdown() {
+    // ServiceError::Disconnected is reserved for requests a teardown
+    // races; a graceful shutdown drains everything, so a ticket redeemed
+    // *after* shutdown still resolves with the product.
+    let a = Arc::new(gen::grid::poisson2d(7, 7));
+    let service = SpgemmService::new(ServiceConfig::default());
+    let ticket = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+    service.shutdown();
+    match ticket.wait() {
+        Ok(resp) => assert_eq!(resp.product.nrows, 49),
+        Err(ServiceError::Disconnected) => {
+            panic!("graceful shutdown must not drop admitted requests")
+        }
+    }
+}
