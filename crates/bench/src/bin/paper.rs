@@ -1,7 +1,7 @@
 //! `paper` — regenerates the paper's figures and tables.
 //!
 //! ```text
-//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|serving|all>
+//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|planner|serving|all>
 //!       [--scale small|medium|large] [--subset N] [--reps N]
 //!       [--seed N] [--out DIR]
 //! ```
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|serving|all>\n\
+        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|engine|planner|serving|all>\n\
          \x20      [--scale small|medium|large] [--subset N] [--reps N] [--seed N] [--out DIR]"
     );
     std::process::exit(2)
@@ -75,6 +75,7 @@ fn main() -> ExitCode {
             "ablation" => cw_bench::experiments::ablation::run(cfg),
             "corpus" => cw_bench::experiments::corpus::run(cfg),
             "engine" => cw_bench::experiments::engine::run(cfg),
+            "planner" => cw_bench::experiments::planner::run(cfg),
             "serving" => cw_bench::experiments::serving::run(cfg),
             "summary" => cw_bench::experiments::summary::run(cfg),
             _ => return None,

@@ -10,6 +10,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig8;
 pub mod fig9;
+pub mod planner;
 pub mod serving;
 pub mod summary;
 pub mod sweep;

@@ -9,8 +9,9 @@
 //! * [`report`] — markdown and CSV emission.
 //! * [`experiments`] — one module per paper artifact: `fig2`, `fig3`,
 //!   `fig8`, `fig9`, `fig10`, `fig11`, `table2`, `table3`, `table4` — plus
-//!   `engine`, comparing the adaptive `cw-engine` pipeline against fixed
-//!   pipelines and measuring plan-cache amortization.
+//!   `engine` (adaptive pipeline vs fixed, plan-cache amortization),
+//!   `planner` (static advisor vs cost model vs feedback-converged plan
+//!   selection), and `serving` (service offered-load sweep).
 //!
 //! The `paper` binary (`cargo run -p cw-bench --release --bin paper`) drives
 //! them; criterion micro-benchmarks live under `benches/`.

@@ -11,10 +11,15 @@
 //!
 //! Two design points guard correctness:
 //!
-//! * **Keys carry the plan.** Auto-planned preparations and explicitly
-//!   forced plans occupy distinct entries ([`CacheKey`]), so an ablation
-//!   run with a forced plan can never hijack the planner's entry for
-//!   subsequent traffic (and vice versa).
+//! * **Keys carry the plan knobs.** Every entry is keyed by
+//!   `(fingerprint, knobs)` ([`CacheKey`]), so preparations under
+//!   different plans — a forced ablation plan, the planner's first
+//!   choice, and a later feedback re-plan — coexist without clobbering
+//!   each other. When the feedback loop switches an operand's plan, the
+//!   old preparation stays resident: switching *back* is a cache hit, not
+//!   a re-prepare. Two plans with equal knobs produce byte-identical
+//!   prepared operands, so sharing an entry between them is sound by
+//!   construction.
 //! * **Hits are verified.** The sampled fingerprint is a cheap lookup key,
 //!   not an identity proof; [`PlanCache::get_or_prepare`] re-checks the
 //!   full-content checksum before trusting a hit, demoting collisions to
@@ -26,42 +31,68 @@ use cw_sparse::MatrixFingerprint;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache key: the operand's fingerprint plus how its preparation was
-/// chosen — `None` for planner-chosen (auto) entries, `Some(knobs)` for
-/// caller-forced plans.
+/// Cache key: the operand's fingerprint plus the behavior knobs of the
+/// plan its preparation realizes. Identifying preparations by knobs (not
+/// full [`crate::Plan`] equality) means plans differing only in their
+/// `rationale` string share an entry, and preparations under genuinely
+/// different pipelines — auto, forced, or feedback-re-planned — never
+/// collide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Sampled fingerprint of the operand.
     pub fingerprint: MatrixFingerprint,
-    /// `None` = auto-planned; `Some` = forced with these knobs.
-    pub plan: Option<PlanKnobs>,
+    /// Behavior knobs of the preparing plan.
+    pub knobs: PlanKnobs,
 }
 
 impl CacheKey {
-    /// Key for a planner-chosen preparation.
-    pub fn auto(fingerprint: MatrixFingerprint) -> CacheKey {
-        CacheKey { fingerprint, plan: None }
-    }
-
-    /// Key for a caller-forced plan (identified by its behavior knobs, so
-    /// plans differing only in `rationale` share an entry).
-    pub fn forced(fingerprint: MatrixFingerprint, knobs: PlanKnobs) -> CacheKey {
-        CacheKey { fingerprint, plan: Some(knobs) }
+    /// Key for a preparation of the `fingerprint` operand under `knobs`.
+    pub fn new(fingerprint: MatrixFingerprint, knobs: PlanKnobs) -> CacheKey {
+        CacheKey { fingerprint, knobs }
     }
 }
 
 /// What bounds a [`PlanCache`]: a maximum entry count (the original
 /// behavior and the default) or a maximum resident byte budget sized from
-/// [`PreparedMatrix::approx_bytes`] — the ROADMAP's "memory-bounded
-/// eviction (bytes, not entry count)" item. Byte budgets matter for
-/// serving: prepared operands vary by orders of magnitude in size, so an
-/// entry count bounds nothing useful about memory.
+/// [`PreparedMatrix::approx_bytes`]. Byte budgets matter for serving:
+/// prepared operands vary by orders of magnitude in size, so an entry
+/// count bounds nothing useful about memory.
+///
+/// Exact semantics, shared by both variants:
+///
+/// * Eviction is LRU: when an insert would exceed the bound, the
+///   least-recently-*used* entries (lookups refresh recency, inserts count
+///   as a use) are dropped until the new entry fits.
+/// * Replacing an entry under its own key first releases the old entry's
+///   footprint, so a same-key re-insert never evicts a different entry.
+/// * Evicted operands are not destroyed — entries are `Arc`s, so callers
+///   already holding one keep a valid prepared operand; the cache merely
+///   forgets it.
+///
+/// ```
+/// use cw_engine::{CacheBudget, PlanCache};
+///
+/// // Entry-bounded: at most 8 prepared operands, any size.
+/// let by_count = PlanCache::with_budget(CacheBudget::Entries(8));
+/// assert_eq!(by_count.capacity(), 8);
+///
+/// // Byte-bounded: as many operands as fit in 64 MiB.
+/// let by_bytes = PlanCache::with_budget(CacheBudget::Bytes(64 << 20));
+/// assert_eq!(by_bytes.capacity(), usize::MAX); // entry count unbounded
+/// assert_eq!(by_bytes.bytes(), 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheBudget {
-    /// At most this many prepared operands (`0` disables caching).
+    /// At most this many prepared operands, regardless of their size.
+    /// `Entries(0)` disables caching entirely: every lookup misses and
+    /// every insert is silently dropped (used by benchmarks to force the
+    /// cold path).
     Entries(usize),
-    /// At most this many resident bytes across all prepared operands.
-    /// An operand larger than the whole budget is never cached.
+    /// At most this many resident bytes across all prepared operands, as
+    /// measured by [`PreparedMatrix::approx_bytes`] at insert time. An
+    /// operand larger than the whole budget is never cached (inserting it
+    /// is a silent no-op, mirroring `Entries(0)`); anything smaller may
+    /// evict every other entry to fit.
     Bytes(usize),
 }
 
@@ -104,6 +135,24 @@ struct CacheEntry {
 }
 
 /// A bounded LRU map from [`CacheKey`]s to prepared operands.
+///
+/// ```
+/// use cw_engine::{CacheKey, Plan, PlanCache, PreparedMatrix};
+/// use std::sync::Arc;
+///
+/// let a = cw_sparse::gen::grid::poisson2d(8, 8);
+/// let plan = Plan::baseline();
+/// let key = CacheKey::new(cw_sparse::fingerprint(&a), plan.knobs());
+///
+/// let mut cache = PlanCache::new(4);
+/// assert!(cache.get(&key).is_none()); // cold
+///
+/// let prepared = PreparedMatrix::prepare(&a, plan, 7, &Default::default());
+/// cache.insert(key, Arc::new(prepared));
+/// assert!(cache.get(&key).is_some()); // warm: one hash lookup + Arc clone
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
 #[derive(Debug)]
 pub struct PlanCache {
     budget: CacheBudget,
@@ -274,7 +323,7 @@ mod tests {
     }
 
     fn auto_key(a: &CsrMatrix) -> CacheKey {
-        CacheKey::auto(fingerprint(a))
+        CacheKey::new(fingerprint(a), Plan::baseline().knobs())
     }
 
     #[test]
@@ -341,15 +390,23 @@ mod tests {
     }
 
     #[test]
-    fn auto_and_forced_entries_do_not_collide() {
+    fn distinct_knobs_occupy_distinct_entries_equal_knobs_share() {
         let a = poisson2d(9, 9);
         let fp = fingerprint(&a);
+        let baseline = Plan::baseline();
+        let clustered = Plan {
+            clustering: crate::plan::ClusteringStrategy::Fixed(4),
+            kernel: crate::plan::KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
         let mut cache = PlanCache::new(4);
-        cache.insert(CacheKey::auto(fp), Arc::new(prepared_for(&a)));
-        // A forced-plan lookup for the same matrix is a distinct key.
-        let forced = CacheKey::forced(fp, Plan::baseline().knobs());
-        assert!(cache.get(&forced).is_none());
-        assert!(cache.get(&CacheKey::auto(fp)).is_some());
+        cache.insert(CacheKey::new(fp, baseline.knobs()), Arc::new(prepared_for(&a)));
+        // A different pipeline for the same matrix is a distinct key...
+        assert!(cache.get(&CacheKey::new(fp, clustered.knobs())).is_none());
+        assert!(cache.get(&CacheKey::new(fp, baseline.knobs())).is_some());
+        // ...but a plan differing only in rationale shares the entry.
+        let renamed = Plan { rationale: "same knobs, different words", ..baseline };
+        assert!(cache.get(&CacheKey::new(fp, renamed.knobs())).is_some());
     }
 
     #[test]

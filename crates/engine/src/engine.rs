@@ -2,7 +2,8 @@
 //! caching.
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
-use crate::plan::Plan;
+use crate::cost::{FeedbackStore, OperandKey, PlanFeedbackState};
+use crate::plan::{Plan, PlanKnobs};
 use crate::planner::Planner;
 use crate::prepared::PreparedMatrix;
 use crate::report::{ExecutionReport, StageTimings};
@@ -13,12 +14,34 @@ use std::time::Instant;
 /// Default number of prepared operands the engine keeps cached.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 
-/// Adaptive SpGEMM engine: profiles operands, plans pipelines, caches
-/// prepared matrices, and executes multiplies under rayon.
+/// Adaptive SpGEMM engine: profiles operands, cost-ranks candidate
+/// pipelines, caches prepared matrices, executes multiplies under rayon,
+/// and feeds observed timings back into plan selection.
+///
+/// ```
+/// use cw_engine::Engine;
+///
+/// let a = cw_sparse::gen::grid::poisson2d(12, 12);
+/// let mut engine = Engine::default();
+///
+/// // First multiply: profile → cost-rank → prepare → execute.
+/// let (c1, first) = engine.multiply(&a, &a);
+/// assert!(!first.cache_hit);
+///
+/// // Repeated traffic: the feedback store resolves the plan with one hash
+/// // lookup, the plan cache supplies the prepared operand, and only the
+/// // kernel runs. Observed timings keep calibrating the cost model.
+/// let (c2, second) = engine.multiply(&a, &a);
+/// assert!(second.cache_hit);
+/// let fb = second.feedback.expect("auto traffic carries feedback state");
+/// assert_eq!(fb.executions, 2);
+/// assert!(c1.numerically_eq(&c2, 0.0));
+/// ```
 #[derive(Debug)]
 pub struct Engine {
     planner: Planner,
     cache: PlanCache,
+    feedback: FeedbackStore,
 }
 
 impl Default for Engine {
@@ -30,18 +53,24 @@ impl Default for Engine {
 impl Engine {
     /// Engine with an explicit planner and cache capacity.
     pub fn new(planner: Planner, cache_capacity: usize) -> Engine {
-        Engine { planner, cache: PlanCache::new(cache_capacity) }
+        Engine { planner, cache: PlanCache::new(cache_capacity), feedback: FeedbackStore::new() }
     }
 
     /// Engine over a caller-built cache — the hook service shards use to
     /// pick a [`crate::CacheBudget`] (e.g. byte-bounded) per shard.
     pub fn with_cache(planner: Planner, cache: PlanCache) -> Engine {
-        Engine { planner, cache }
+        Engine { planner, cache, feedback: FeedbackStore::new() }
     }
 
     /// The planner in use.
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// Read-only view of the execution-feedback store (per-fingerprint
+    /// observed-timing EWMAs and the calibration state).
+    pub fn feedback(&self) -> &FeedbackStore {
+        &self.feedback
     }
 
     /// Read-only view of the plan cache (budget, resident bytes, length).
@@ -86,45 +115,76 @@ impl Engine {
     }
 
     /// `C = A · b` through the adaptive pipeline. Returns the product (rows
-    /// in original order) and a report of the plan, cache outcome, and
-    /// per-stage timings.
+    /// in original order) and a report of the plan, cache outcome,
+    /// per-stage timings, and feedback calibration state. The observed
+    /// kernel time is fed back into plan selection: a plan that keeps
+    /// underperforming its prediction is demoted on later calls (see
+    /// [`crate::FeedbackStore`]).
     pub fn multiply(&mut self, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, ExecutionReport) {
-        let (prepared, mut timings, cache_hit) = self.lookup_or_prepare(a, None);
-        let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
-        timings.kernel_seconds = kernel_seconds;
-        timings.postprocess_seconds = postprocess_seconds;
-        let report = ExecutionReport {
-            plan: prepared.plan,
-            fingerprint: prepared.fingerprint,
-            cache_hit,
-            timings,
-            output_nnz: c.nnz(),
-        };
-        (c, report)
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None);
+        self.execute_prepared(&prepared, b, timings, cache_hit)
     }
 
     /// Like [`Engine::multiply`] but with a caller-supplied plan instead of
     /// the planner's choice (cross-validation, ablations, manual tuning).
     /// Forced preparations are cached under their own `(matrix, plan)` key
     /// — repeated calls with the same matrix and knobs skip preprocessing,
-    /// and forced entries never shadow the planner's entry for
-    /// [`Engine::multiply`] traffic (or vice versa).
+    /// and a forced plan whose knobs differ from the planner's choice never
+    /// shadows the auto entry (or vice versa). Forced timings still feed
+    /// the observation store: a run whose knobs match a tracked candidate
+    /// updates that candidate's EWMA — including the incumbent's, when the
+    /// forced pipeline *is* the incumbent's — so ablation sweeps both
+    /// reveal faster alternatives and legitimately sample the current
+    /// choice.
     pub fn multiply_planned(
         &mut self,
         a: &CsrMatrix,
         b: &CsrMatrix,
         plan: Plan,
     ) -> (CsrMatrix, ExecutionReport) {
-        let (prepared, mut timings, cache_hit) = self.lookup_or_prepare(a, Some(plan));
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, Some(plan));
+        self.execute_prepared(&prepared, b, timings, cache_hit)
+    }
+
+    /// Runs a resolved operand against `b`: times the kernel, records the
+    /// observation into the feedback store, and assembles the
+    /// [`ExecutionReport`]. The execute/record/report tail shared by
+    /// [`Engine::multiply`], [`Engine::multiply_planned`], and serving
+    /// layers that resolve operands once via [`Engine::prepare_with`] and
+    /// run many right-hand sides.
+    ///
+    /// The recorded observation is normalized to the lhs-sized reference
+    /// workload (`kernel × nnz(A)/nnz(B)` — kernel work scales with
+    /// `nnz(B)` for a fixed prepared `A`), so plan comparisons stay
+    /// apples-to-apples when the same operand serves right-hand sides of
+    /// very different sizes. The scale is clamped to `[0.1, 10]`: beyond
+    /// that, fixed per-call overheads dominate tiny multiplies and a
+    /// linear extrapolation would record wildly inflated observations.
+    /// Reported timings stay raw.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &PreparedMatrix,
+        b: &CsrMatrix,
+        prep_timings: StageTimings,
+        cache_hit: bool,
+    ) -> (CsrMatrix, ExecutionReport) {
         let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
+        let mut timings = prep_timings;
         timings.kernel_seconds = kernel_seconds;
         timings.postprocess_seconds = postprocess_seconds;
+        let work_scale = (prepared.nnz().max(1) as f64 / b.nnz().max(1) as f64).clamp(0.1, 10.0);
+        let feedback = self.record_observation(
+            OperandKey { fingerprint: prepared.fingerprint, checksum: prepared.checksum },
+            prepared.plan.knobs(),
+            kernel_seconds * work_scale,
+        );
         let report = ExecutionReport {
             plan: prepared.plan,
             fingerprint: prepared.fingerprint,
             cache_hit,
             timings,
             output_nnz: c.nnz(),
+            feedback,
         };
         (c, report)
     }
@@ -140,40 +200,84 @@ impl Engine {
         bs.iter().map(|b| self.multiply(a, b)).collect()
     }
 
-    /// Cache lookup keyed by `(fingerprint, plan source)`; on miss, plans
-    /// (unless `forced` supplies one) and prepares. Auto-planned and
-    /// forced preparations occupy distinct cache entries, so neither can
-    /// hijack the other's. Hits are verified against the full-content
-    /// checksum (`O(nnz)`, negligible next to the multiply) before being
-    /// trusted — a sampled-fingerprint collision re-prepares instead of
-    /// returning a stale operand. Returns the operand, the preprocessing
-    /// timings attributable to *this* call (zeroed on hits — the work was
-    /// done earlier), and the hit flag.
+    /// Records one observed kernel time for plan `knobs` on the operand
+    /// identified by `key`, returning the post-update calibration
+    /// snapshot. This is the feedback entry point for callers that time
+    /// prepared kernels themselves instead of going through
+    /// [`Engine::execute_prepared`] — such callers should pass seconds
+    /// normalized to the lhs-sized reference workload
+    /// (`kernel × nnz(A)/nnz(B)`) when their right-hand sides vary in
+    /// size, as `execute_prepared` does. Unseeded operands (forced-only
+    /// traffic) and knobs outside the candidate set are ignored.
+    pub fn record_observation(
+        &mut self,
+        key: OperandKey,
+        knobs: PlanKnobs,
+        kernel_seconds: f64,
+    ) -> Option<PlanFeedbackState> {
+        self.feedback.record(key, knobs, kernel_seconds, &self.planner.policy)
+    }
+
+    /// Calibration snapshot for `key`'s currently chosen plan, without
+    /// recording anything.
+    pub fn feedback_state(&self, key: &OperandKey) -> Option<PlanFeedbackState> {
+        self.feedback.state(key)
+    }
+
+    /// Resolves the plan and prepared operand for `a`, consulting — in
+    /// order — the forced plan, the feedback store's chosen plan (one hash
+    /// lookup, no profiling), and finally the full cost-ranked planner (on
+    /// an operand's first sighting, which also seeds the feedback store's
+    /// candidate set). The cache is keyed by `(fingerprint, knobs)`, so a
+    /// feedback re-plan prepares under a fresh entry while the demoted
+    /// plan's preparation stays resident for a potential switch-back.
+    /// Hits are verified against the full-content checksum (`O(nnz)`,
+    /// negligible next to the multiply) before being trusted — a
+    /// sampled-fingerprint collision re-prepares instead of returning a
+    /// stale operand. Returns the operand, the preprocessing timings
+    /// attributable to *this* call (reorder/cluster zeroed on hits — that
+    /// work was done earlier — while `plan_seconds` reflects any planning
+    /// this call actually performed), and the hit flag.
     fn lookup_or_prepare(
         &mut self,
         a: &CsrMatrix,
         forced: Option<Plan>,
     ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
         let fp = fingerprint(a);
-        let key = match forced {
-            None => CacheKey::auto(fp),
-            Some(plan) => CacheKey::forced(fp, plan.knobs()),
-        };
         let sum = checksum(a);
-        let planner = &self.planner;
+        // Feedback state is keyed by fingerprint *and* checksum, so a
+        // sampled-fingerprint collision can never hand this operand
+        // another matrix's plan (or pollute its timing observations).
+        let operand = OperandKey { fingerprint: fp, checksum: sum };
         let mut plan_seconds = 0.0;
+        let plan = match forced {
+            Some(p) => p,
+            None => match self.feedback.chosen_plan(&operand) {
+                Some(p) => p,
+                None => {
+                    let t0 = Instant::now();
+                    let ranked = self.planner.plans_costed(a);
+                    let selected = ranked[0].plan;
+                    self.feedback
+                        .seed(operand, ranked.into_iter().map(|r| (r.plan, r.estimate)).collect());
+                    plan_seconds = t0.elapsed().as_secs_f64();
+                    selected
+                }
+            },
+        };
+        let key = CacheKey::new(fp, plan.knobs());
+        let planner = &self.planner;
         let (prepared, hit) = self.cache.get_or_prepare(
             key,
             |cached| cached.checksum == sum,
-            || {
-                let t0 = Instant::now();
-                let plan = forced.unwrap_or_else(|| planner.plan(a));
-                plan_seconds = t0.elapsed().as_secs_f64();
-                PreparedMatrix::prepare(a, plan, planner.seed, &planner.cluster)
-            },
+            || PreparedMatrix::prepare(a, plan, planner.seed, &planner.cluster),
         );
         let timings = if hit {
-            StageTimings::default()
+            // Reorder/cluster work was done by whichever call prepared the
+            // entry, but planning may still have happened on *this* call
+            // (a first sighting — e.g. after feedback-store eviction —
+            // whose preparation was already cache-resident).
+            StageTimings { plan_seconds, ..StageTimings::default() }
         } else {
             StageTimings {
                 plan_seconds,

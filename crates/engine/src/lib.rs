@@ -6,24 +6,38 @@
 //! across repeated multiplications (§4.5, Fig. 10), and its §5 future work
 //! asks for an automatic pipeline that "predicts the best choice of
 //! reordering combined with the best clustering scheme". This crate is that
-//! pipeline, split into four explicit stages:
+//! pipeline, split into five explicit stages (see `docs/ARCHITECTURE.md`
+//! at the workspace root for the cross-crate picture):
 //!
-//! 1. **Plan** — [`Planner`] computes the structural [`Profile`]
-//!    (via `cw-reorder`'s advisor) and emits a [`Plan`]: reordering ×
-//!    clustering strategy × kernel (row-wise vs cluster-wise) ×
-//!    accumulator × parallelism knobs, with a human-readable rationale.
+//! 1. **Plan** — [`Planner`] computes the structural [`Profile`] (via
+//!    `cw-reorder`'s advisor), prices every candidate [`Plan`] —
+//!    reordering × clustering strategy × kernel × accumulator ×
+//!    parallelism knobs — with the analytic [`CostModel`], and ranks them
+//!    by cost amortized under the caller's [`PlanningPolicy`] (expected
+//!    reuse, optional preprocessing budget). [`Planner::plans_ranked`] is
+//!    the budget-aware fall-through list; [`Planner::plan_static`] keeps
+//!    the pre-cost-model rule-based choice for ablation.
 //! 2. **Prepare** — [`PreparedMatrix::prepare`] materializes the plan
 //!    once: permutation computed and applied, `CSR_Cluster` built,
 //!    per-stage timings recorded. Prepared operands are reusable across
 //!    any number of right-hand sides and always return results in the
 //!    original row order.
 //! 3. **Cache** — [`PlanCache`] maps cheap matrix fingerprints
-//!    ([`cw_sparse::fingerprint`]) to prepared operands with LRU eviction
-//!    and hit/miss/eviction counters, so repeated traffic on the same
-//!    matrix skips preprocessing entirely.
+//!    ([`cw_sparse::fingerprint()`]) plus plan knobs to prepared operands
+//!    under a [`CacheBudget`] — entry-bounded or byte-bounded LRU — with
+//!    hit/miss/eviction counters, so repeated traffic on the same matrix
+//!    skips preprocessing entirely. Keying by `(fingerprint, knobs)` lets
+//!    preparations under different plans coexist, which is what makes
+//!    feedback re-planning cheap to undo.
 //! 4. **Execute** — [`Engine::multiply`] / [`Engine::multiply_batch`] run
 //!    the prepared kernel under rayon and return an [`ExecutionReport`]
-//!    with per-stage wall-clock timings.
+//!    with per-stage wall-clock timings and calibration state.
+//! 5. **Feed back** — the engine's [`FeedbackStore`] keeps per-fingerprint
+//!    EWMAs of observed kernel seconds per candidate plan. Observed
+//!    timings correct the cost model's estimates after every execution:
+//!    plans that underperform their prediction are demoted, observed-fast
+//!    plans promoted, so repeated traffic converges on the empirically
+//!    fastest plan (`cw-service` threads this loop through every shard).
 //!
 //! ```
 //! use cw_engine::Engine;
@@ -31,15 +45,17 @@
 //! let a = cw_sparse::gen::mesh::tri_mesh(16, 16, true, 42);
 //! let mut engine = Engine::default();
 //!
-//! // First multiply: profile → plan → prepare → execute.
+//! // First multiply: profile → cost-rank → prepare → execute.
 //! let (c1, first) = engine.multiply(&a, &a);
 //! assert!(!first.cache_hit);
 //!
-//! // Repeated traffic: fingerprint hits the plan cache, preprocessing
-//! // is skipped, only the kernel runs.
+//! // Repeated traffic: the feedback store resolves the plan, the
+//! // fingerprint hits the plan cache, preprocessing is skipped, only the
+//! // kernel runs — and the observation calibrates the cost model.
 //! let (c2, second) = engine.multiply(&a, &a);
 //! assert!(second.cache_hit);
 //! assert_eq!(second.timings.preprocessing(), 0.0);
+//! assert!(second.feedback.is_some());
 //! assert!(c1.numerically_eq(&c2, 0.0));
 //! ```
 
@@ -47,6 +63,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod cost;
 mod engine;
 mod plan;
 mod planner;
@@ -54,12 +71,17 @@ mod prepared;
 mod report;
 
 pub use cache::{CacheBudget, CacheKey, CacheStats, PlanCache};
+pub use cost::{
+    CostEstimate, CostModel, Ewma, FeedbackStore, OperandFeatures, OperandKey, PlanFeedbackState,
+    PlanningPolicy, CALIBRATION_CLAMP, DEFAULT_FEEDBACK_CAPACITY, EWMA_ALPHA,
+    MIN_OBSERVATIONS_TO_SWITCH, SWITCH_MARGIN,
+};
 pub use engine::{Engine, DEFAULT_CACHE_CAPACITY};
 pub use plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};
-pub use planner::{Planner, DENSE_ACC_COL_THRESHOLD, PARALLEL_ROW_THRESHOLD};
+pub use planner::{Planner, RankedPlan, DENSE_ACC_COL_THRESHOLD, PARALLEL_ROW_THRESHOLD};
 pub use prepared::{PrepTimings, PreparedMatrix};
 pub use report::{ExecutionReport, StageTimings};
 
 // Re-exported so engine callers can name advisor types without depending
 // on cw-reorder directly.
-pub use cw_reorder::advisor::{Profile, Suggestion};
+pub use cw_reorder::advisor::{Advice, Profile, RankedSuggestion, Suggestion};

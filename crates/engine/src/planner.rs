@@ -1,17 +1,23 @@
-//! The planner: structural profile → ranked, knob-tuned [`Plan`]s.
+//! The planner: structural profile → cost-ranked, knob-tuned [`Plan`]s.
 //!
 //! Realizes the paper's §5 future-work item — "predict the best choice of
-//! reordering combined with the best clustering scheme" — as a deterministic
-//! pipeline over cheap statistics: [`cw_reorder::advisor`] supplies the
-//! ranked technique suggestions, and the planner turns each into a complete
-//! [`Plan`] with accumulator and parallelism knobs tuned to the matrix
-//! (dense accumulators for narrow outputs per Nagasaka et al.'s regime
-//! analysis; serial execution for matrices too small to amortize
-//! fork/join).
+//! reordering combined with the best clustering scheme" — as a two-layer
+//! pipeline: [`cw_reorder::advisor::advise_profiled`] supplies candidate
+//! techniques with their structural-evidence `affinity`, and the
+//! [`CostModel`] prices each resulting [`Plan`] (predicted preprocessing
+//! and kernel seconds) so candidates can be ranked by *amortized* cost
+//! under the caller's [`PlanningPolicy`] — expected reuse and an optional
+//! preprocessing budget. The pure rule-based choice survives as
+//! [`Planner::plan_static`] for ablation against the cost model.
+//!
+//! Knob tuning is shared by every candidate: dense accumulators for narrow
+//! outputs per Nagasaka et al.'s regime analysis; serial execution for
+//! matrices too small to amortize fork/join.
 
+use crate::cost::{CostEstimate, CostModel, OperandFeatures, PlanningPolicy};
 use crate::plan::Plan;
 use cw_core::ClusterConfig;
-use cw_reorder::advisor::{advise, profile, Profile, Suggestion};
+use cw_reorder::advisor::{advise, advise_profiled, profile, Profile, Suggestion};
 use cw_reorder::Reordering;
 use cw_sparse::CsrMatrix;
 use cw_spgemm::AccumulatorKind;
@@ -21,10 +27,23 @@ use cw_spgemm::AccumulatorKind;
 pub const PARALLEL_ROW_THRESHOLD: usize = 512;
 
 /// Output widths up to this use the dense (SPA) accumulator; beyond it the
-/// hash accumulator's `O(row nnz)` footprint wins (paper §2.2 / [40]).
+/// hash accumulator's `O(row nnz)` footprint wins (paper §2.2 / \[40\]).
 pub const DENSE_ACC_COL_THRESHOLD: usize = 4096;
 
-/// Turns matrices into executable [`Plan`]s.
+/// One cost-ranked candidate: the tuned plan, its predicted cost, and the
+/// advisor affinity that fed the prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedPlan {
+    /// The tuned, executable plan.
+    pub plan: Plan,
+    /// The cost model's prediction for this plan on this operand.
+    pub estimate: CostEstimate,
+    /// Advisor structural-evidence feature the estimate was built from
+    /// (`0` for the baseline fallback).
+    pub affinity: f64,
+}
+
+/// Turns matrices into executable [`Plan`]s, ranked by modeled cost.
 #[derive(Debug, Clone)]
 pub struct Planner {
     /// Seed for randomized reorderings (identical seeds ⇒ identical plans
@@ -32,11 +51,20 @@ pub struct Planner {
     pub seed: u64,
     /// Clustering parameters used by Variable/Hierarchical strategies.
     pub cluster: ClusterConfig,
+    /// Amortization horizon, preprocessing budget, and feedback knobs.
+    pub policy: PlanningPolicy,
+    /// The analytic cost model pricing candidate plans.
+    pub cost: CostModel,
 }
 
 impl Default for Planner {
     fn default() -> Self {
-        Planner { seed: 0xC0FFEE, cluster: ClusterConfig::default() }
+        Planner {
+            seed: 0xC0FFEE,
+            cluster: ClusterConfig::default(),
+            policy: PlanningPolicy::default(),
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -46,24 +74,73 @@ impl Planner {
         Planner { seed, ..Planner::default() }
     }
 
+    /// Planner with an explicit seed and planning policy.
+    pub fn with_policy(seed: u64, policy: PlanningPolicy) -> Planner {
+        Planner { seed, policy, ..Planner::default() }
+    }
+
     /// The structural profile driving plan decisions (delegates to
     /// [`cw_reorder::advisor::profile`]).
     pub fn profile(&self, a: &CsrMatrix) -> Profile {
         profile(a)
     }
 
-    /// The best plan for `a`: the advisor's top suggestion, knob-tuned.
+    /// The best plan for `a`: the cheapest candidate by modeled amortized
+    /// cost that fits the policy's preprocessing budget.
     pub fn plan(&self, a: &CsrMatrix) -> Plan {
-        self.plans_ranked(a).remove(0)
+        self.plans_costed(a)[0].plan
     }
 
-    /// All advisor suggestions for `a` as tuned plans, best first. Never
-    /// empty; the baseline plan is appended as the final fallback.
-    pub fn plans_ranked(&self, a: &CsrMatrix) -> Vec<Plan> {
-        let mut out: Vec<Plan> =
-            advise(a).into_iter().map(|s| self.plan_for_suggestion(a, s)).collect();
-        out.push(self.tune(a, Plan::baseline()));
+    /// The purely rule-based choice (the advisor's top suggestion,
+    /// knob-tuned) with no cost modeling — what [`Planner::plan`] was
+    /// before the cost model existed. Kept as the ablation baseline for
+    /// the `planner` bench experiment.
+    pub fn plan_static(&self, a: &CsrMatrix) -> Plan {
+        let suggestion = advise(a).into_iter().next().unwrap_or(Suggestion::LeaveOriginal);
+        self.plan_for_suggestion(a, suggestion)
+    }
+
+    /// Every candidate plan for `a` with its cost estimate, cheapest
+    /// (amortized under the policy's expected reuse) first. Candidates
+    /// whose predicted preprocessing exceeds the policy budget are ranked
+    /// after every within-budget candidate — the budget-aware fall-through:
+    /// callers trying candidates in order pay at most the budgeted
+    /// preprocessing unless nothing fits. Never empty: the zero-prep
+    /// baseline plan is always a candidate, so the budget can always be
+    /// met. Candidates are deduplicated by behavior knobs (advisor
+    /// suggestions that tune to identical pipelines keep the
+    /// highest-affinity instance).
+    pub fn plans_costed(&self, a: &CsrMatrix) -> Vec<RankedPlan> {
+        let advice = advise_profiled(a);
+        let features = OperandFeatures::with_profile(a, advice.profile);
+        let mut out: Vec<RankedPlan> = Vec::with_capacity(advice.ranked.len() + 1);
+        let push = |plan: Plan, affinity: f64, out: &mut Vec<RankedPlan>| {
+            if out.iter().any(|r: &RankedPlan| r.plan.knobs() == plan.knobs()) {
+                return;
+            }
+            let estimate = self.cost.estimate(&features, &plan, affinity);
+            out.push(RankedPlan { plan, estimate, affinity });
+        };
+        for r in &advice.ranked {
+            push(self.plan_for_suggestion(a, r.suggestion), r.affinity, &mut out);
+        }
+        push(self.tune(a, Plan::baseline()), 0.0, &mut out);
+
+        let reuse = self.policy.expected_reuse;
+        let budget = self.policy.prep_budget_seconds.unwrap_or(f64::INFINITY);
+        out.sort_by(|x, y| {
+            let over = |r: &RankedPlan| r.estimate.prep_seconds > budget;
+            over(x)
+                .cmp(&over(y))
+                .then(x.estimate.amortized(reuse).total_cmp(&y.estimate.amortized(reuse)))
+        });
         out
+    }
+
+    /// All candidate plans for `a` in fall-through order (cheapest modeled
+    /// cost first, over-budget candidates last). Never empty.
+    pub fn plans_ranked(&self, a: &CsrMatrix) -> Vec<Plan> {
+        self.plans_costed(a).into_iter().map(|r| r.plan).collect()
     }
 
     /// Tuned plan realizing one specific advisor [`Suggestion`] on `a`.
@@ -115,13 +192,103 @@ mod tests {
     use cw_sparse::gen;
 
     #[test]
-    fn plans_ranked_is_never_empty_and_ends_with_baseline() {
+    fn plans_ranked_is_never_empty_and_contains_the_baseline() {
         let a = gen::grid::poisson2d(12, 12);
         let plans = Planner::default().plans_ranked(&a);
         assert!(!plans.is_empty());
-        let last = plans.last().unwrap();
-        assert_eq!(last.clustering, ClusteringStrategy::None);
-        assert_eq!(last.kernel, KernelChoice::RowWise);
+        assert!(
+            plans.iter().any(|p| p.clustering == ClusteringStrategy::None
+                && p.kernel == KernelChoice::RowWise
+                && p.reorder.is_none()),
+            "the zero-prep baseline must always be a fall-through candidate"
+        );
+    }
+
+    #[test]
+    fn plans_costed_is_sorted_by_amortized_cost_within_budget_class() {
+        let planner = Planner::default();
+        for a in [
+            gen::grid::poisson2d(16, 16),
+            gen::mesh::tri_mesh(16, 16, true, 3),
+            gen::banded::block_diagonal(128, (6, 8), 0.0, 1),
+        ] {
+            let ranked = planner.plans_costed(&a);
+            let reuse = planner.policy.expected_reuse;
+            for w in ranked.windows(2) {
+                assert!(
+                    w[0].estimate.amortized(reuse) <= w[1].estimate.amortized(reuse) + 1e-15,
+                    "ranking must ascend in amortized cost"
+                );
+            }
+            // No duplicate pipelines in the candidate set.
+            for (i, x) in ranked.iter().enumerate() {
+                for y in &ranked[i + 1..] {
+                    assert_ne!(x.plan.knobs(), y.plan.knobs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_falls_through_to_a_zero_prep_plan() {
+        let mut planner = Planner::default();
+        planner.policy.prep_budget_seconds = Some(0.0);
+        // A scrambled mesh would otherwise plan a reordering, which has
+        // nonzero predicted prep cost.
+        let a = gen::mesh::tri_mesh(20, 20, true, 3);
+        let plan = planner.plan(&a);
+        assert_eq!(
+            planner
+                .cost
+                .estimate(
+                    &crate::cost::OperandFeatures::with_profile(&a, planner.profile(&a)),
+                    &plan,
+                    0.0
+                )
+                .prep_seconds,
+            0.0,
+            "zero budget must select a plan with zero predicted preprocessing: {}",
+            plan.describe()
+        );
+    }
+
+    #[test]
+    fn one_shot_policy_avoids_heavy_preprocessing() {
+        let mut planner = Planner { policy: PlanningPolicy::one_shot(), ..Planner::default() };
+        let a = gen::mesh::tri_mesh(20, 20, true, 3);
+        let one_shot = planner.plan(&a);
+        planner.policy.expected_reuse = 1000.0;
+        let heavy_reuse_rank = planner.plans_costed(&a);
+        // Under massive reuse the top choice amortizes at pure kernel cost,
+        // so its kernel estimate can't exceed the one-shot pick's.
+        assert!(
+            heavy_reuse_rank[0].estimate.kernel_seconds
+                <= planner
+                    .cost
+                    .estimate(
+                        &crate::cost::OperandFeatures::with_profile(&a, planner.profile(&a)),
+                        &one_shot,
+                        0.0
+                    )
+                    .kernel_seconds
+                    + 1e-15
+        );
+    }
+
+    #[test]
+    fn plan_static_realizes_the_advisors_top_suggestion() {
+        for a in [
+            gen::banded::block_diagonal(128, (6, 8), 0.0, 1),
+            gen::mesh::tri_mesh(24, 24, true, 3),
+            gen::er::erdos_renyi(100, 5, 1),
+        ] {
+            let planner = Planner::default();
+            let top = advise(&a)[0];
+            assert_eq!(
+                planner.plan_static(&a).knobs(),
+                planner.plan_for_suggestion(&a, top).knobs()
+            );
+        }
     }
 
     #[test]

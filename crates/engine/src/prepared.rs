@@ -60,6 +60,7 @@ pub struct PreparedMatrix {
     operand: Operand,
     nrows: usize,
     ncols: usize,
+    nnz: usize,
 }
 
 impl PreparedMatrix {
@@ -138,6 +139,7 @@ impl PreparedMatrix {
             operand,
             nrows: a.nrows,
             ncols: a.ncols,
+            nnz: a.nnz(),
         }
     }
 
@@ -149,6 +151,13 @@ impl PreparedMatrix {
     /// Columns of the prepared operand (matches the original matrix).
     pub fn ncols(&self) -> usize {
         self.ncols
+    }
+
+    /// Stored nonzeros of the original operand (the feedback loop uses
+    /// this as the reference workload when normalizing observed kernel
+    /// times across right-hand sides of different sizes).
+    pub fn nnz(&self) -> usize {
+        self.nnz
     }
 
     /// True when the kernel output needs row un-permutation.

@@ -1,5 +1,6 @@
 //! Execution reports: what the engine did and where the time went.
 
+use crate::cost::PlanFeedbackState;
 use crate::plan::Plan;
 use cw_sparse::MatrixFingerprint;
 
@@ -47,19 +48,36 @@ pub struct ExecutionReport {
     pub timings: StageTimings,
     /// `nnz(C)` of the produced output.
     pub output_nnz: usize,
+    /// Feedback-loop calibration state after this execution was recorded:
+    /// how often this plan has run on this operand, predicted vs observed
+    /// kernel seconds, the calibration ratio, and whether this observation
+    /// triggered a re-plan. `None` when the executed plan carries no
+    /// feedback signal (e.g. a forced plan outside the candidate set, or
+    /// an operand the planner has never seeded).
+    pub feedback: Option<PlanFeedbackState>,
 }
 
 impl ExecutionReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let calibration = match &self.feedback {
+            None => String::new(),
+            Some(f) => format!(
+                " | fb x{} calib {:.2}{}",
+                f.executions,
+                f.calibration,
+                if f.switched { " REPLAN" } else { "" }
+            ),
+        };
         format!(
-            "{} | cache {} | prep {:.3}ms kernel {:.3}ms post {:.3}ms | nnz(C) {}",
+            "{} | cache {} | prep {:.3}ms kernel {:.3}ms post {:.3}ms | nnz(C) {}{}",
             self.plan.describe(),
             if self.cache_hit { "hit" } else { "miss" },
             self.timings.preprocessing() * 1e3,
             self.timings.kernel_seconds * 1e3,
             self.timings.postprocess_seconds * 1e3,
             self.output_nnz,
+            calibration,
         )
     }
 }
@@ -91,8 +109,31 @@ mod tests {
             cache_hit: true,
             timings: StageTimings::default(),
             output_nnz: 42,
+            feedback: None,
         };
         let s = rep.summary();
         assert!(s.contains("hit") && s.contains("42"), "{s}");
+    }
+
+    #[test]
+    fn summary_shows_calibration_when_feedback_is_present() {
+        let rep = ExecutionReport {
+            plan: Plan::baseline(),
+            fingerprint: fingerprint(&CsrMatrix::identity(4)),
+            cache_hit: true,
+            timings: StageTimings::default(),
+            output_nnz: 1,
+            feedback: Some(crate::cost::PlanFeedbackState {
+                executions: 7,
+                predicted_kernel_seconds: 1e-3,
+                observed_kernel_seconds: 2e-3,
+                calibration: 2.0,
+                replans: 1,
+                switched: true,
+                candidates: 3,
+            }),
+        };
+        let s = rep.summary();
+        assert!(s.contains("x7") && s.contains("2.00") && s.contains("REPLAN"), "{s}");
     }
 }

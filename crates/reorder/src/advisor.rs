@@ -47,6 +47,32 @@ pub struct Profile {
     pub avg_row_nnz: f64,
 }
 
+/// One advisor suggestion with its ranking rationale made explicit: how
+/// strongly the profile matches the rule that fired (`affinity`) and why.
+/// Downstream cost models use `affinity` as the predicted-payoff feature
+/// for the suggested technique instead of re-deriving the decision surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedSuggestion {
+    /// The suggested technique.
+    pub suggestion: Suggestion,
+    /// How strongly the profile matches the rule, in `[0, 1]`: `0` means
+    /// "fallback, no structural evidence", values near `1` mean the profile
+    /// sits deep inside the rule's winning region (paper Figs. 8–9).
+    pub affinity: f64,
+    /// One-line explanation of why this suggestion ranked where it did.
+    pub why: &'static str,
+}
+
+/// The advisor's full output: the profile it measured and the ranked
+/// suggestions with their rationale, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// The structural profile the ranking was derived from.
+    pub profile: Profile,
+    /// Ranked suggestions, best first; never empty.
+    pub ranked: Vec<RankedSuggestion>,
+}
+
 /// Computes the advisor's input profile from matrix statistics.
 pub fn profile(a: &CsrMatrix) -> Profile {
     let s: MatrixStats = stats(a);
@@ -60,49 +86,93 @@ pub fn profile(a: &CsrMatrix) -> Profile {
 }
 
 /// Ranked suggestions (best first) for accelerating SpGEMM on `a`.
+/// Shorthand for [`advise_profiled`] when only the ordering matters.
 pub fn advise(a: &CsrMatrix) -> Vec<Suggestion> {
+    advise_profiled(a).ranked.into_iter().map(|r| r.suggestion).collect()
+}
+
+/// Ranked suggestions for `a` with the profile and per-suggestion rationale
+/// attached. The order is identical to [`advise`]; the extra `affinity`
+/// feature quantifies how deeply the profile sits inside the winning rule's
+/// region, which cost models consume as the technique's predicted payoff.
+pub fn advise_profiled(a: &CsrMatrix) -> Advice {
     let p = profile(a);
     let mut out = Vec::with_capacity(4);
+    let rank = |s, affinity: f64, why| RankedSuggestion {
+        suggestion: s,
+        affinity: affinity.clamp(0.0, 1.0),
+        why,
+    };
 
     if p.consecutive_jaccard >= 0.5 {
         // Rows are already grouped: clustering without reordering captures
         // the structure; reordering risks destroying it (paper: shuffling a
         // good order has GM 0.43).
-        out.push(Suggestion::ClusterInPlace);
-        out.push(Suggestion::LeaveOriginal);
-        return out;
+        out.push(rank(
+            Suggestion::ClusterInPlace,
+            p.consecutive_jaccard,
+            "consecutive rows already similar; cluster in place",
+        ));
+        out.push(rank(Suggestion::LeaveOriginal, 0.0, "fallback: order is already good"));
+        return Advice { profile: p, ranked: out };
     }
 
     if p.degree_skew >= 8.0 {
         // Heavy-tailed graphs: hub-grouping orders; partitioners struggle
         // (no small separators), meshes' RCM irrelevant.
-        out.push(Suggestion::Reorder(Reordering::Degree));
-        out.push(Suggestion::Reorder(Reordering::SlashBurn));
-        out.push(Suggestion::Hierarchical);
-        return out;
+        let a_skew = (p.degree_skew - 8.0) / p.degree_skew;
+        out.push(rank(
+            Suggestion::Reorder(Reordering::Degree),
+            a_skew,
+            "heavy-tailed degrees; group hubs by degree",
+        ));
+        out.push(rank(
+            Suggestion::Reorder(Reordering::SlashBurn),
+            a_skew * 0.8,
+            "heavy-tailed degrees; SlashBurn hub/spoke order",
+        ));
+        out.push(rank(Suggestion::Hierarchical, 0.3, "fallback: balanced default"));
+        return Advice { profile: p, ranked: out };
     }
 
     if p.avg_row_nnz <= 16.0 && p.relative_bandwidth > 0.25 {
         // Bounded-degree, scattered numbering: the scrambled-mesh case
         // where RCM/GP/HP win up to an order of magnitude (paper Fig. 9).
-        out.push(Suggestion::Reorder(Reordering::Rcm));
-        out.push(Suggestion::Reorder(Reordering::Gp(16)));
-        out.push(Suggestion::Hierarchical);
-        return out;
+        let a_bw = p.relative_bandwidth.min(0.9);
+        out.push(rank(
+            Suggestion::Reorder(Reordering::Rcm),
+            a_bw,
+            "bounded degree, scattered numbering; RCM recovers the band",
+        ));
+        out.push(rank(
+            Suggestion::Reorder(Reordering::Gp(16)),
+            a_bw * 0.9,
+            "bounded degree, scattered numbering; partition for locality",
+        ));
+        out.push(rank(Suggestion::Hierarchical, 0.3, "fallback: balanced default"));
+        return Advice { profile: p, ranked: out };
     }
 
     if p.relative_bandwidth <= 0.05 {
         // Already banded: nothing to recover.
-        out.push(Suggestion::LeaveOriginal);
-        out.push(Suggestion::ClusterInPlace);
-        return out;
+        out.push(rank(Suggestion::LeaveOriginal, 0.0, "already banded; nothing to recover"));
+        out.push(rank(
+            Suggestion::ClusterInPlace,
+            p.consecutive_jaccard,
+            "banded rows may still overlap enough to cluster",
+        ));
+        return Advice { profile: p, ranked: out };
     }
 
     // Default: the paper's balanced recommendation.
-    out.push(Suggestion::Hierarchical);
-    out.push(Suggestion::Reorder(Reordering::Gp(16)));
-    out.push(Suggestion::LeaveOriginal);
-    out
+    out.push(rank(Suggestion::Hierarchical, 0.4, "no dominant structure; balanced default"));
+    out.push(rank(
+        Suggestion::Reorder(Reordering::Gp(16)),
+        0.3,
+        "no dominant structure; partitioning sometimes pays",
+    ));
+    out.push(rank(Suggestion::LeaveOriginal, 0.0, "fallback: leave the matrix alone"));
+    Advice { profile: p, ranked: out }
 }
 
 #[cfg(test)]
@@ -160,6 +230,40 @@ mod tests {
             let s2 = advise(&a);
             assert!(!s1.is_empty(), "case {i}");
             assert_eq!(s1, s2, "case {i}");
+        }
+    }
+
+    #[test]
+    fn advise_profiled_matches_advise_order_with_sane_features() {
+        for a in [
+            gen::banded::block_diagonal(128, (6, 8), 0.0, 1),
+            gen::mesh::tri_mesh(24, 24, true, 3),
+            gen::rmat::rmat(10, 8, gen::rmat::RmatParams::default(), 3),
+            gen::er::erdos_renyi(100, 5, 1),
+        ] {
+            let advice = advise_profiled(&a);
+            let order: Vec<Suggestion> = advice.ranked.iter().map(|r| r.suggestion).collect();
+            assert_eq!(order, advise(&a), "advise must be the projection of advise_profiled");
+            for r in &advice.ranked {
+                assert!((0.0..=1.0).contains(&r.affinity), "{:?}: {}", r.suggestion, r.affinity);
+                assert!(!r.why.is_empty());
+            }
+            // The top suggestion carries at least as much structural
+            // evidence as the trailing fallback.
+            assert!(advice.ranked[0].affinity >= advice.ranked.last().unwrap().affinity);
+        }
+    }
+
+    #[test]
+    fn affinity_grows_with_structural_evidence() {
+        // Nearly identical grouped rows beat loosely overlapping ones.
+        let tight = gen::banded::block_diagonal(128, (6, 8), 0.0, 1);
+        let loose = gen::banded::block_diagonal(128, (6, 8), 0.35, 1);
+        let (ta, la) = (advise_profiled(&tight), advise_profiled(&loose));
+        if ta.ranked[0].suggestion == Suggestion::ClusterInPlace
+            && la.ranked[0].suggestion == Suggestion::ClusterInPlace
+        {
+            assert!(ta.ranked[0].affinity >= la.ranked[0].affinity);
         }
     }
 

@@ -19,9 +19,15 @@
 //!   worker shards, each owning its *own* [`cw_engine::Engine`] and
 //!   [`cw_engine::PlanCache`]. All traffic for one matrix lands on one
 //!   shard, so caches need no cross-thread locking at all.
+//! * **Per-shard execution feedback** — each shard engine records
+//!   observed kernel timings into its private
+//!   [`cw_engine::FeedbackStore`], so repeated traffic converges on the
+//!   empirically fastest plan per operand with no cross-thread locking;
+//!   plan switches surface as [`ServiceReport::replanned`] and the
+//!   per-shard `replans` counter.
 //! * **Observability** — every response carries a [`ServiceReport`]
-//!   (queue wait, batch size, cache outcome, per-stage
-//!   [`cw_engine::ExecutionReport`] timings), and
+//!   (queue wait, batch size, cache outcome, feedback calibration state,
+//!   per-stage [`cw_engine::ExecutionReport`] timings), and
 //!   [`SpgemmService::stats`] aggregates throughput, p50/p99 latency from
 //!   a streaming reservoir, and per-shard cache hit rates.
 //!

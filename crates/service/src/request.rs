@@ -61,6 +61,20 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Feedback-loop calibration state for this request's operand, when
+    /// the executed plan carries one (see
+    /// [`cw_engine::ExecutionReport::feedback`]).
+    pub fn feedback(&self) -> Option<&cw_engine::PlanFeedbackState> {
+        self.execution.feedback.as_ref()
+    }
+
+    /// Whether this request's observation made the shard switch the
+    /// operand's plan (the next non-coalesced request for it will prepare
+    /// and run a different pipeline).
+    pub fn replanned(&self) -> bool {
+        self.execution.feedback.is_some_and(|f| f.switched)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(

@@ -3,7 +3,7 @@
 use crate::request::{MultiplyRequest, SubmitError, Ticket};
 use crate::shard::{worker_loop, Batch, Completion, SlotGuard, Submission};
 use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};
-use cw_engine::{CacheBudget, Engine, PlanCache, Planner, DEFAULT_CACHE_CAPACITY};
+use cw_engine::{CacheBudget, Engine, PlanCache, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY};
 use cw_sparse::{fingerprint, MatrixFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -34,6 +34,10 @@ pub struct ServiceConfig {
     /// Seed for each shard's planner (identical seeds ⇒ identical plans
     /// and bit-identical results across shards and vs a direct engine).
     pub seed: u64,
+    /// Planning policy for each shard's planner: amortization horizon,
+    /// preprocessing budget, and whether the per-shard feedback loop may
+    /// re-plan operands from observed timings.
+    pub policy: PlanningPolicy,
     /// Latency reservoir size for p50/p99 estimation.
     pub reservoir_capacity: usize,
 }
@@ -47,6 +51,7 @@ impl Default for ServiceConfig {
             max_batch: 32,
             cache_budget: CacheBudget::Entries(DEFAULT_CACHE_CAPACITY),
             seed: Planner::default().seed,
+            policy: PlanningPolicy::default(),
             reservoir_capacity: 1024,
         }
     }
@@ -65,6 +70,25 @@ struct Counters {
 /// it behind an `Arc` and submit from any number of client threads.
 /// Dropping it (or calling [`SpgemmService::shutdown`]) drains in-flight
 /// requests gracefully before joining the worker threads.
+///
+/// ```
+/// use cw_service::{MultiplyRequest, ServiceConfig, SpgemmService};
+/// use std::sync::Arc;
+///
+/// let a = Arc::new(cw_sparse::gen::grid::poisson2d(10, 10));
+/// let service = SpgemmService::new(ServiceConfig { shards: 1, ..ServiceConfig::default() });
+///
+/// // Same operand twice: the second request rides the shard's plan cache
+/// // (or the same coalesced batch) and skips preprocessing.
+/// let t1 = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+/// let t2 = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+/// let (r1, r2) = (t1.wait().unwrap(), t2.wait().unwrap());
+/// assert!(r1.product.numerically_eq(&r2.product, 0.0));
+///
+/// let stats = service.shutdown();
+/// assert_eq!(stats.completed, 2);
+/// assert_eq!(stats.total_cache().hits, 1);
+/// ```
 #[derive(Debug)]
 pub struct SpgemmService {
     config: ServiceConfig,
@@ -114,7 +138,7 @@ impl SpgemmService {
             let slot = Arc::new(Mutex::new(ShardStats { shard, ..ShardStats::default() }));
             let reservoir = Arc::new(Mutex::new(LatencyReservoir::new(config.reservoir_capacity)));
             let engine = Engine::with_cache(
-                Planner::with_seed(config.seed),
+                Planner::with_policy(config.seed, config.policy),
                 PlanCache::with_budget(config.cache_budget),
             );
             let completion = Completion { completed: Arc::clone(&completed) };

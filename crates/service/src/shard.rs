@@ -14,7 +14,7 @@
 
 use crate::request::{MultiplyResponse, ServiceError, ServiceReport};
 use crate::stats::{LatencyReservoir, ShardStats};
-use cw_engine::{Engine, ExecutionReport, Plan, PlanKnobs, PreparedMatrix, StageTimings};
+use cw_engine::{Engine, Plan, PlanKnobs, PreparedMatrix, StageTimings};
 use cw_sparse::{CsrMatrix, MatrixFingerprint};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -73,6 +73,8 @@ pub(crate) fn worker_loop(
     // Requests served from a batch-shared prepared operand, counted into
     // the shard's hit statistics (they bypass the engine cache entirely).
     let mut reuse_hits: u64 = 0;
+    // Feedback-loop plan switches observed on this shard.
+    let mut replans: u64 = 0;
     while let Ok(batch) = rx.recv() {
         let batch_size = batch.items.len();
         // Head request's resolved operand, reusable by identical followers.
@@ -94,14 +96,17 @@ pub(crate) fn worker_loop(
                 head = Some((Arc::clone(&sub.lhs), plan_knobs, Arc::clone(&prep)));
                 (prep, timings, hit)
             };
-            let (product, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(&sub.rhs);
-            let execution = ExecutionReport {
-                plan: prepared.plan,
-                fingerprint: prepared.fingerprint,
-                cache_hit,
-                timings: StageTimings { kernel_seconds, postprocess_seconds, ..prep_timings },
-                output_nnz: product.nnz(),
-            };
+            // Execute + record + report through the engine's shared tail:
+            // each shard owns its engine, so observed timings close the
+            // feedback loop with no cross-thread locking. Forced-plan
+            // requests whose knobs match a tracked candidate feed that
+            // candidate's EWMA too (an ablation run can promote a faster
+            // plan for the shard's auto traffic).
+            let (product, execution) =
+                engine.execute_prepared(&prepared, &sub.rhs, prep_timings, cache_hit);
+            if execution.feedback.is_some_and(|f| f.switched) {
+                replans += 1;
+            }
             let execute_seconds = started.elapsed().as_secs_f64();
             let latency_seconds = sub.submitted.elapsed().as_secs_f64();
             reservoir.lock().unwrap().record(latency_seconds);
@@ -134,5 +139,7 @@ pub(crate) fn worker_loop(
         s.cache.hits += reuse_hits;
         s.cached_operands = engine.cached_operands();
         s.cached_bytes = engine.cache().bytes();
+        s.replans = replans;
+        s.tracked_operands = engine.feedback().len();
     }
 }

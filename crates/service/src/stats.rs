@@ -146,6 +146,11 @@ pub struct ShardStats {
     pub cached_operands: usize,
     /// Resident bytes in the shard cache.
     pub cached_bytes: usize,
+    /// Plan switches the shard engine's feedback loop has made (observed
+    /// timings contradicted the cost model strongly enough to re-plan).
+    pub replans: u64,
+    /// Operand fingerprints the shard engine's feedback store tracks.
+    pub tracked_operands: usize,
 }
 
 /// Point-in-time snapshot of a running (or drained) service.
@@ -186,6 +191,11 @@ impl ServiceStats {
         self.shards.iter().map(|s| s.coalesced_batches).sum()
     }
 
+    /// Feedback-loop plan switches summed across every shard.
+    pub fn total_replans(&self) -> u64 {
+        self.shards.iter().map(|s| s.replans).sum()
+    }
+
     /// Largest batch served by any shard.
     pub fn max_batch_size(&self) -> usize {
         self.shards.iter().map(|s| s.max_batch_size).max().unwrap_or(0)
@@ -195,7 +205,7 @@ impl ServiceStats {
     pub fn summary(&self) -> String {
         format!(
             "served {}/{} (rejected {}) | {:.1} req/s | p50 {:.3}ms p99 {:.3}ms | \
-             cache hit rate {:.2} | coalesced batches {} (max {})",
+             cache hit rate {:.2} | coalesced batches {} (max {}) | replans {}",
             self.completed,
             self.submitted,
             self.rejected,
@@ -205,6 +215,7 @@ impl ServiceStats {
             self.total_cache().hit_rate(),
             self.coalesced_batches(),
             self.max_batch_size(),
+            self.total_replans(),
         )
     }
 }

@@ -22,7 +22,7 @@
 //!   consecutive-row Jaccard) used by the evaluation harness.
 //! * [`jaccard`] — set-similarity primitives shared by the clustering
 //!   algorithms (paper Alg. 2/3).
-//! * [`fingerprint`] — `O(samples)` matrix fingerprints keying the engine's
+//! * [`mod@fingerprint`] — `O(samples)` matrix fingerprints keying the engine's
 //!   plan cache (`cw-engine`), so repeated traffic on the same operand can
 //!   skip preprocessing.
 //!

@@ -6,23 +6,31 @@
 //! cluster-wise computation scheme over the `CSR_Cluster` format — grown
 //! into a servable system with an adaptive planning engine in front.
 //!
-//! This crate is a facade re-exporting the workspace members:
+//! This crate is a facade re-exporting the workspace members (see
+//! `docs/ARCHITECTURE.md` for the full crate map, the
+//! plan→prepare→execute→serve dataflow diagram, and how the cost model and
+//! feedback loop fit together):
 //!
 //! * [`service`] — **the serving layer**: a threaded `SpgemmService` over
 //!   the engine for concurrent traffic. A bounded submission queue with
 //!   backpressure feeds a dispatcher that coalesces requests sharing one
 //!   lhs fingerprint into batches, routes them to worker shards (each with
-//!   a private engine + plan cache — no cross-thread cache locking), and
-//!   answers every request with a `ServiceReport` (queue wait, batch size,
-//!   cache outcome, per-stage timings) plus service-wide throughput and
-//!   p50/p99 latency stats.
-//! * [`engine`] — **the front door**: an adaptive plan/prepare/execute
-//!   pipeline. A `Planner` profiles the operand and picks reordering ×
-//!   clustering × kernel × accumulator; `PreparedMatrix` materializes that
-//!   plan once; a fingerprint-keyed `PlanCache` (entry- or byte-bounded)
-//!   lets repeated traffic on the same matrix skip preprocessing entirely;
-//!   `Engine::multiply` executes under rayon and reports per-stage
-//!   timings.
+//!   a private engine + plan cache + feedback store — no cross-thread
+//!   locking), and answers every request with a `ServiceReport` (queue
+//!   wait, batch size, cache outcome, calibration state, per-stage
+//!   timings) plus service-wide throughput and p50/p99 latency stats.
+//! * [`engine`] — **the front door**: an adaptive
+//!   plan/prepare/execute/feed-back pipeline. A `Planner` profiles the
+//!   operand, prices every candidate pipeline (reordering × clustering ×
+//!   kernel × accumulator) with a `CostModel`, and ranks them by cost
+//!   amortized under a caller-supplied `PlanningPolicy` (expected reuse,
+//!   preprocessing budget); `PreparedMatrix` materializes the chosen plan
+//!   once; a fingerprint+knobs-keyed `PlanCache` (entry- or byte-bounded)
+//!   lets repeated traffic skip preprocessing entirely;
+//!   `Engine::multiply` executes under rayon, reports per-stage timings,
+//!   and feeds observed kernel seconds into a per-operand `FeedbackStore`
+//!   that demotes mispredicted plans so traffic converges on the
+//!   empirically fastest pipeline.
 //! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
 //!   synthetic matrix generators, structural statistics, and the matrix
 //!   fingerprints keying the engine's plan cache.
@@ -120,8 +128,8 @@ pub mod prelude {
         ClusterConfig, Clustering, CsrCluster,
     };
     pub use cw_engine::{
-        CacheBudget, Engine, ExecutionReport, KernelChoice, Plan, PlanCache, Planner,
-        PreparedMatrix,
+        CacheBudget, ClusteringStrategy, CostModel, Engine, ExecutionReport, FeedbackStore,
+        KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
     };
     pub use cw_reorder::Reordering;
     pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};
