@@ -1,0 +1,284 @@
+//! Backends experiment: the same planned pipeline executed on every
+//! registered backend, and feedback-driven backend selection.
+//!
+//! The `ExecutionBackend` seam claims that *where* a plan runs is a knob
+//! like any other — cacheable, priceable, and learnable. This experiment
+//! checks all three claims on the representative corpus:
+//!
+//! 1. **Per-backend timings** — the planner's chosen pipeline is executed
+//!    warm (preparation cached, kernel + postprocess only) on each
+//!    backend: the reference rayon path, the serial oracle (the
+//!    determinism floor, never a planner candidate), and the column-tiled
+//!    cache-blocked path.
+//! 2. **Feedback convergence** — an adaptive engine plans normally
+//!    (always the reference backend on first sight — the default cost
+//!    model is deliberately pessimistic about tiling), an ablation sweep
+//!    feeds each candidate backend's observed timings into the feedback
+//!    store, and repeated auto traffic must end on (or within the switch
+//!    margin of) the observed-fastest *candidate* backend.
+//! 3. **Misprediction recovery** — the same loop under an adversarial
+//!    cost model that prices tiling as nearly free: first-sight selection
+//!    lands on the tiled backend, and execution feedback must walk it
+//!    back to the genuinely faster backend. This is the backend seam's
+//!    version of the planner experiment's demotion story: selection is
+//!    driven by measurement, not by trusting the model.
+
+use crate::report::{Report, Table};
+use crate::runner::{time_median, RunConfig};
+use cw_engine::{
+    BackendId, Engine, OperandKey, Plan, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY,
+    MIN_OBSERVATIONS_TO_SWITCH,
+};
+use cw_sparse::CsrMatrix;
+
+/// Auto multiplies served after the ablation sweep so the feedback loop
+/// has enough incumbent observations to evaluate (and make) a switch.
+const CONVERGENCE_ROUNDS: usize = 8;
+
+/// Backends the timing table measures (the serial oracle included as the
+/// determinism floor).
+const MEASURED: [BackendId; 3] =
+    [BackendId::ParallelCpu, BackendId::SerialReference, BackendId::TiledCpu];
+
+/// Backends the planner actually offers auto traffic (the oracle's caps
+/// opt it out), i.e. what feedback-driven selection chooses between.
+const CANDIDATES: [BackendId; 2] = [BackendId::ParallelCpu, BackendId::TiledCpu];
+
+/// Warm per-call seconds of `plan` on `a` (kernel + postprocess; the
+/// preparation is cached by the engine before timing starts).
+fn warm_per_call(engine: &mut Engine, a: &CsrMatrix, plan: Plan, reps: usize) -> f64 {
+    let _ = engine.multiply_planned(a, a, plan);
+    time_median(reps, || engine.multiply_planned(a, a, plan))
+}
+
+/// Serves the sweep-then-auto traffic pattern on `engine` and returns the
+/// converged plan plus the replan count: every candidate backend variant
+/// of `pipeline` gets enough forced observations to be trusted outright,
+/// then auto traffic lets the feedback loop switch (or hold).
+fn converge(engine: &mut Engine, a: &CsrMatrix, pipeline: Plan) -> (Plan, u64) {
+    for id in CANDIDATES {
+        for _ in 0..MIN_OBSERVATIONS_TO_SWITCH + 1 {
+            let _ = engine.multiply_planned(a, a, pipeline.on_backend(id));
+        }
+    }
+    let mut replans = 0;
+    for _ in 0..CONVERGENCE_ROUNDS {
+        let (_, r) = engine.multiply(a, a);
+        replans = r.feedback.map_or(replans, |f| f.replans);
+    }
+    let converged = engine.feedback().chosen_plan(&OperandKey::of(a)).expect("operand was seeded");
+    (converged, replans)
+}
+
+/// Runs the backends experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let datasets = cfg.select(cw_datasets::representative(cfg.scale));
+    let mut rep = Report::new(
+        "backends",
+        "Execution backends: per-backend timings and feedback-driven backend selection",
+    );
+    rep.note("All per-call timings are warm (prepared operand cached): kernel + postprocess only.");
+    rep.note(
+        "Backends run the planner's chosen pipeline unchanged; only the execution strategy \
+         differs (rayon reference, serial oracle, column-tiled cache blocking). The oracle is \
+         the determinism floor, not a planner candidate — feedback selects between parallel-cpu \
+         and tiled-cpu.",
+    );
+    rep.note(format!(
+        "converged = backend chosen by an adaptive engine after an ablation sweep \
+         ({} observations per candidate backend, zero noise floor) plus {CONVERGENCE_ROUNDS} \
+         auto multiplies; a switch needs a 25% margin, so near-ties legitimately hold the \
+         incumbent.",
+        MIN_OBSERVATIONS_TO_SWITCH
+    ));
+
+    // --- Table 1: the same pipeline on every backend ---
+    let mut t = Table::new(vec![
+        "Dataset",
+        "plan (pipeline)",
+        "parallel-cpu s",
+        "serial-reference s",
+        "tiled-cpu s",
+        "fastest candidate",
+        "candidate gap",
+    ]);
+    // Per-dataset fastest *candidate* backend and its seconds (reused by
+    // the convergence tables below).
+    let mut fastest_candidate: Vec<(BackendId, f64)> = Vec::new();
+    for d in &datasets {
+        let a = d.build(cfg.scale);
+        let mut meter = Engine::new(
+            Planner::with_policy(cfg.seed, PlanningPolicy::frozen()),
+            DEFAULT_CACHE_CAPACITY,
+        );
+        let pipeline = meter.planner().plan(&a);
+        let mut seconds = Vec::with_capacity(MEASURED.len());
+        for id in MEASURED {
+            seconds.push(warm_per_call(&mut meter, &a, pipeline.on_backend(id), cfg.reps));
+        }
+        let (parallel_s, tiled_s) = (seconds[0], seconds[2]);
+        let best = if parallel_s <= tiled_s {
+            (BackendId::ParallelCpu, parallel_s)
+        } else {
+            (BackendId::TiledCpu, tiled_s)
+        };
+        fastest_candidate.push(best);
+        t.push_row(vec![
+            d.name.to_string(),
+            pipeline.describe(),
+            format!("{parallel_s:.6}"),
+            format!("{:.6}", seconds[1]),
+            format!("{tiled_s:.6}"),
+            best.0.name().to_string(),
+            format!("{:.2}", parallel_s.max(tiled_s) / best.1.max(1e-12)),
+        ]);
+    }
+    rep.add_table("warm per-call seconds by execution backend", t);
+
+    // --- Table 2: feedback-driven backend selection (honest model) ---
+    let mut t = Table::new(vec![
+        "Dataset",
+        "first-sight backend",
+        "converged backend",
+        "replans",
+        "fastest backend (converged pipeline)",
+        "converged s",
+        "fastest s",
+        "slowdown vs fastest",
+    ]);
+    for d in &datasets {
+        let a = d.build(cfg.scale);
+        let policy = PlanningPolicy { min_adapt_gain_seconds: 0.0, ..PlanningPolicy::default() };
+        let mut adaptive =
+            Engine::new(Planner::with_policy(cfg.seed, policy), DEFAULT_CACHE_CAPACITY);
+        let (_, first) = adaptive.multiply(&a, &a);
+        let (converged, replans) = converge(&mut adaptive, &a, first.plan);
+
+        // Isolate the backend axis: the *converged pipeline* measured on
+        // every candidate backend with one meter, so the comparison is
+        // backend choice alone (not pipeline choice or cross-run noise).
+        let mut meter = Engine::new(
+            Planner::with_policy(cfg.seed, PlanningPolicy::frozen()),
+            DEFAULT_CACHE_CAPACITY,
+        );
+        let mut converged_s = f64::NAN;
+        let mut best: Option<(BackendId, f64)> = None;
+        for id in CANDIDATES {
+            let s = warm_per_call(&mut meter, &a, converged.on_backend(id), cfg.reps);
+            if id == converged.backend {
+                converged_s = s;
+            }
+            if best.is_none_or(|(_, b)| s < b) {
+                best = Some((id, s));
+            }
+        }
+        let (fastest_id, fastest_s) = best.expect("at least one candidate backend");
+        t.push_row(vec![
+            d.name.to_string(),
+            first.backend.name().to_string(),
+            converged.backend.name().to_string(),
+            format!("{replans}"),
+            fastest_id.name().to_string(),
+            format!("{converged_s:.6}"),
+            format!("{fastest_s:.6}"),
+            format!("{:.2}", converged_s / fastest_s.max(1e-12)),
+        ]);
+    }
+    rep.add_table("feedback-driven backend selection", t);
+
+    // --- Table 3: recovery from a backend misprediction ---
+    let mut t = Table::new(vec![
+        "Dataset",
+        "first-sight backend",
+        "converged backend",
+        "replans",
+        "fastest candidate",
+        "recovered",
+    ]);
+    for (i, d) in datasets.iter().enumerate() {
+        let a = d.build(cfg.scale);
+        // Adversarial model: column tiling predicted to save 90% of kernel
+        // time at zero pass overhead, so wide-output operands start on the
+        // tiled backend no matter what it actually costs.
+        let policy = PlanningPolicy { min_adapt_gain_seconds: 0.0, ..PlanningPolicy::default() };
+        let mut planner = Planner::with_policy(cfg.seed, policy);
+        planner.cost.blocking_gain = 0.9;
+        planner.cost.tile_pass_overhead = 0.0;
+        let mut adaptive = Engine::new(planner, DEFAULT_CACHE_CAPACITY);
+        let (_, first) = adaptive.multiply(&a, &a);
+        let (converged, replans) = converge(&mut adaptive, &a, first.plan);
+        let (fastest_id, _) = fastest_candidate[i];
+        t.push_row(vec![
+            d.name.to_string(),
+            first.backend.name().to_string(),
+            converged.backend.name().to_string(),
+            format!("{replans}"),
+            fastest_id.name().to_string(),
+            if converged.backend == fastest_id { "yes" } else { "held (within margin)" }
+                .to_string(),
+        ]);
+    }
+    rep.add_table("recovery from an adversarial backend misprediction", t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_experiment_measures_and_converges() {
+        let cfg = RunConfig { reps: 1, subset: Some(2), ..Default::default() };
+        let rep = run(&cfg);
+        assert_eq!(rep.id, "backends");
+        assert_eq!(rep.tables.len(), 3);
+
+        let (_, timing) = &rep.tables[0];
+        assert_eq!(timing.rows.len(), 2);
+        for row in &timing.rows {
+            for col in 2..=4 {
+                let s: f64 = row[col].parse().unwrap();
+                assert!(s > 0.0, "column {col} must carry a timing: {row:?}");
+            }
+        }
+
+        let (_, conv) = &rep.tables[1];
+        let mut exact_matches = 0;
+        for row in &conv.rows {
+            assert_eq!(row[1], "parallel-cpu", "first sight must be the reference backend");
+            if row[2] == row[4] {
+                exact_matches += 1;
+            }
+            let slowdown: f64 = row.last().unwrap().parse().unwrap();
+            // The acceptance bar: the converged backend is competitive with
+            // the observed-fastest candidate. The switch margin allows
+            // holding a ≤25%-slower incumbent; the rest is CI timer noise
+            // headroom. A wrong convergence misses by integer factors.
+            assert!(
+                slowdown <= 2.0,
+                "{}: converged backend {} is {slowdown}x the fastest candidate ({})",
+                row[0],
+                row[2],
+                row[4]
+            );
+        }
+        assert!(
+            exact_matches >= 1,
+            "feedback must converge exactly onto the fastest candidate on at least one matrix"
+        );
+
+        // Misprediction recovery: the adversarial model misleads the first
+        // choice; feedback must end on a competitive backend either way.
+        let (_, recovery) = &rep.tables[2];
+        assert_eq!(recovery.rows.len(), 2);
+        for row in &recovery.rows {
+            assert!(
+                row[2] == row[4] || row[5].starts_with("held"),
+                "{}: converged {} is neither the fastest candidate {} nor a margin hold",
+                row[0],
+                row[2],
+                row[4]
+            );
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! [`crate::report::Report`].
 
 pub mod ablation;
+pub mod backends;
 pub mod corpus;
 pub mod engine;
 pub mod fig10;

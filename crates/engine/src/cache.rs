@@ -1,5 +1,5 @@
-//! The plan cache: (fingerprint, plan) → prepared operand, with LRU
-//! eviction and verified hits.
+//! The plan cache: (fingerprint, plan knobs — backend included) → prepared
+//! operand, with LRU eviction, optional TTL expiry, and verified hits.
 //!
 //! Reordering and cluster construction only pay off amortized over
 //! repeated multiplications (paper §4.5, Fig. 10). The cache closes the
@@ -12,14 +12,16 @@
 //! Two design points guard correctness:
 //!
 //! * **Keys carry the plan knobs.** Every entry is keyed by
-//!   `(fingerprint, knobs)` ([`CacheKey`]), so preparations under
-//!   different plans — a forced ablation plan, the planner's first
-//!   choice, and a later feedback re-plan — coexist without clobbering
-//!   each other. When the feedback loop switches an operand's plan, the
-//!   old preparation stays resident: switching *back* is a cache hit, not
-//!   a re-prepare. Two plans with equal knobs produce byte-identical
-//!   prepared operands, so sharing an entry between them is sound by
-//!   construction.
+//!   `(fingerprint, knobs)` ([`CacheKey`]) — and the knobs include the
+//!   execution backend, so the effective key is
+//!   `(fingerprint, pipeline, backend)`. Preparations under different
+//!   plans — a forced ablation plan, the planner's first choice, a later
+//!   feedback re-plan, the same pipeline on a different backend — coexist
+//!   without clobbering each other. When the feedback loop switches an
+//!   operand's plan (or backend), the old preparation stays resident:
+//!   switching *back* is a cache hit, not a re-prepare. Two plans with
+//!   equal knobs produce byte-identical prepared operands, so sharing an
+//!   entry between them is sound by construction.
 //! * **Hits are verified.** The sampled fingerprint is a cheap lookup key,
 //!   not an identity proof; [`PlanCache::get_or_prepare`] re-checks the
 //!   full-content checksum before trusting a hit, demoting collisions to
@@ -30,18 +32,19 @@ use crate::prepared::PreparedMatrix;
 use cw_sparse::MatrixFingerprint;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cache key: the operand's fingerprint plus the behavior knobs of the
 /// plan its preparation realizes. Identifying preparations by knobs (not
 /// full [`crate::Plan`] equality) means plans differing only in their
 /// `rationale` string share an entry, and preparations under genuinely
-/// different pipelines — auto, forced, or feedback-re-planned — never
-/// collide.
+/// different pipelines — auto, forced, feedback-re-planned, or the same
+/// pipeline on a different backend — never collide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Sampled fingerprint of the operand.
     pub fingerprint: MatrixFingerprint,
-    /// Behavior knobs of the preparing plan.
+    /// Behavior knobs of the preparing plan (backend included).
     pub knobs: PlanKnobs,
 }
 
@@ -52,11 +55,11 @@ impl CacheKey {
     }
 }
 
-/// What bounds a [`PlanCache`]: a maximum entry count (the original
-/// behavior and the default) or a maximum resident byte budget sized from
-/// [`PreparedMatrix::approx_bytes`]. Byte budgets matter for serving:
-/// prepared operands vary by orders of magnitude in size, so an entry
-/// count bounds nothing useful about memory.
+/// The size bound of a [`CacheBudget`]: a maximum entry count (the
+/// original behavior and the default) or a maximum resident byte budget
+/// sized from [`PreparedMatrix::approx_bytes`]. Byte budgets matter for
+/// serving: prepared operands vary by orders of magnitude in size, so an
+/// entry count bounds nothing useful about memory.
 ///
 /// Exact semantics, shared by both variants:
 ///
@@ -68,21 +71,8 @@ impl CacheKey {
 /// * Evicted operands are not destroyed — entries are `Arc`s, so callers
 ///   already holding one keep a valid prepared operand; the cache merely
 ///   forgets it.
-///
-/// ```
-/// use cw_engine::{CacheBudget, PlanCache};
-///
-/// // Entry-bounded: at most 8 prepared operands, any size.
-/// let by_count = PlanCache::with_budget(CacheBudget::Entries(8));
-/// assert_eq!(by_count.capacity(), 8);
-///
-/// // Byte-bounded: as many operands as fit in 64 MiB.
-/// let by_bytes = PlanCache::with_budget(CacheBudget::Bytes(64 << 20));
-/// assert_eq!(by_bytes.capacity(), usize::MAX); // entry count unbounded
-/// assert_eq!(by_bytes.bytes(), 0);
-/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheBudget {
+pub enum CacheBound {
     /// At most this many prepared operands, regardless of their size.
     /// `Entries(0)` disables caching entirely: every lookup misses and
     /// every insert is silently dropped (used by benchmarks to force the
@@ -96,19 +86,73 @@ pub enum CacheBudget {
     Bytes(usize),
 }
 
+/// What bounds a [`PlanCache`]: a size [`CacheBound`] plus an optional
+/// time-to-live. With a TTL, an entry older than `ttl` (measured from its
+/// *insertion*, not its last use — a hot entry for a matrix that stopped
+/// mattering is exactly what TTLs exist to drop) expires lazily: the next
+/// lookup treats it as a miss, removes it, and counts it under
+/// [`CacheStats::expirations`]. [`PlanCache::purge_expired`] sweeps
+/// eagerly for callers that want the memory back without waiting for
+/// traffic.
+///
+/// ```
+/// use cw_engine::{CacheBudget, PlanCache};
+/// use std::time::Duration;
+///
+/// // Entry-bounded: at most 8 prepared operands, any size, forever.
+/// let by_count = PlanCache::with_budget(CacheBudget::entries(8));
+/// assert_eq!(by_count.capacity(), 8);
+///
+/// // Byte-bounded with a TTL: at most 64 MiB, nothing older than 10 min.
+/// let budget = CacheBudget::bytes(64 << 20).with_ttl(Duration::from_secs(600));
+/// let by_bytes = PlanCache::with_budget(budget);
+/// assert_eq!(by_bytes.capacity(), usize::MAX); // entry count unbounded
+/// assert_eq!(by_bytes.bytes(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// The size bound (entries or bytes).
+    pub bound: CacheBound,
+    /// Optional time-to-live since insertion; `None` = entries never
+    /// expire by age.
+    pub ttl: Option<Duration>,
+}
+
+impl CacheBudget {
+    /// Entry-count bound with no TTL (see [`CacheBound::Entries`]).
+    pub fn entries(n: usize) -> CacheBudget {
+        CacheBudget { bound: CacheBound::Entries(n), ttl: None }
+    }
+
+    /// Resident-byte bound with no TTL (see [`CacheBound::Bytes`]).
+    pub fn bytes(b: usize) -> CacheBudget {
+        CacheBudget { bound: CacheBound::Bytes(b), ttl: None }
+    }
+
+    /// The same size bound with entries additionally expiring `ttl` after
+    /// insertion. A zero TTL expires everything on its next lookup.
+    pub fn with_ttl(self, ttl: Duration) -> CacheBudget {
+        CacheBudget { ttl: Some(ttl), ..self }
+    }
+}
+
 /// Hit/miss/eviction counters for one cache instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found a prepared operand (verified, when a verifier
     /// was supplied).
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing (expired entries included).
     pub misses: u64,
     /// Fingerprint collisions: lookups whose entry failed checksum
     /// verification (also counted under `misses`).
     pub collisions: u64,
-    /// Entries evicted to respect the capacity bound.
+    /// Entries evicted to respect the size bound.
     pub evictions: u64,
+    /// Entries dropped because they outlived the budget's TTL (lazy, on
+    /// lookup, also counted under `misses` — or eager, via
+    /// [`PlanCache::purge_expired`], counted here only).
+    pub expirations: u64,
     /// Entries inserted over the cache's lifetime.
     pub insertions: u64,
 }
@@ -125,13 +169,14 @@ impl CacheStats {
     }
 }
 
-/// One resident cache entry: the operand, its LRU recency tick, and its
-/// byte footprint (frozen at insert time).
+/// One resident cache entry: the operand, its LRU recency tick, its byte
+/// footprint (frozen at insert time), and its insertion instant (TTL).
 #[derive(Debug)]
 struct CacheEntry {
     prepared: Arc<PreparedMatrix>,
     last_used: u64,
     bytes: usize,
+    inserted_at: Instant,
 }
 
 /// A bounded LRU map from [`CacheKey`]s to prepared operands.
@@ -166,7 +211,7 @@ impl PlanCache {
     /// Cache holding at most `capacity` prepared operands (`capacity == 0`
     /// disables caching: every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> PlanCache {
-        PlanCache::with_budget(CacheBudget::Entries(capacity))
+        PlanCache::with_budget(CacheBudget::entries(capacity))
     }
 
     /// Cache bounded by an explicit [`CacheBudget`].
@@ -180,7 +225,9 @@ impl PlanCache {
         }
     }
 
-    /// Number of cached operands.
+    /// Number of cached operands. Entries past their TTL still count until
+    /// a lookup or [`PlanCache::purge_expired`] removes them (expiry is
+    /// lazy).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -190,7 +237,7 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// The configured bound.
+    /// The configured budget.
     pub fn budget(&self) -> CacheBudget {
         self.budget
     }
@@ -198,9 +245,9 @@ impl PlanCache {
     /// Entry-count bound (`usize::MAX` under a byte budget, which does not
     /// limit entry count).
     pub fn capacity(&self) -> usize {
-        match self.budget {
-            CacheBudget::Entries(n) => n,
-            CacheBudget::Bytes(_) => usize::MAX,
+        match self.budget.bound {
+            CacheBound::Entries(n) => n,
+            CacheBound::Bytes(_) => usize::MAX,
         }
     }
 
@@ -215,31 +262,60 @@ impl PlanCache {
         self.stats
     }
 
-    /// Looks up a prepared operand, refreshing its recency on hit.
+    /// True when `entry` has outlived the budget's TTL.
+    fn expired(&self, entry: &CacheEntry) -> bool {
+        self.budget.ttl.is_some_and(|ttl| entry.inserted_at.elapsed() >= ttl)
+    }
+
+    /// Looks up a prepared operand, refreshing its recency on hit. An
+    /// entry past the budget's TTL is removed and reported as a miss
+    /// (counted under both `misses` and `expirations`).
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<PreparedMatrix>> {
         self.tick += 1;
-        match self.entries.get_mut(key) {
-            Some(entry) => {
+        let expired = match self.entries.get_mut(key) {
+            Some(entry) if self.budget.ttl.is_none_or(|ttl| entry.inserted_at.elapsed() < ttl) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(&entry.prepared))
+                return Some(Arc::clone(&entry.prepared));
             }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            Some(_) => true,
+            None => false,
+        };
+        if expired {
+            let stale = self.entries.remove(key).expect("expired entry is resident");
+            self.bytes_used -= stale.bytes;
+            self.stats.expirations += 1;
         }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Eagerly removes every entry past the budget's TTL, returning how
+    /// many were dropped (counted under `expirations`, not `misses` —
+    /// nothing looked them up). A no-op without a TTL.
+    pub fn purge_expired(&mut self) -> usize {
+        if self.budget.ttl.is_none() {
+            return 0;
+        }
+        let stale: Vec<CacheKey> =
+            self.entries.iter().filter(|(_, e)| self.expired(e)).map(|(k, _)| *k).collect();
+        for key in &stale {
+            let entry = self.entries.remove(key).expect("listed entry is resident");
+            self.bytes_used -= entry.bytes;
+            self.stats.expirations += 1;
+        }
+        stale.len()
     }
 
     /// Inserts a prepared operand under `key`, evicting least-recently-used
-    /// entries until the budget is respected. Under [`CacheBudget::Bytes`],
+    /// entries until the budget is respected. Under [`CacheBound::Bytes`],
     /// an operand larger than the entire budget is silently not cached
     /// (mirroring the `Entries(0)` behavior).
     pub fn insert(&mut self, key: CacheKey, prepared: Arc<PreparedMatrix>) {
         let bytes = prepared.approx_bytes();
-        match self.budget {
-            CacheBudget::Entries(0) => return,
-            CacheBudget::Bytes(b) if bytes > b => return,
+        match self.budget.bound {
+            CacheBound::Entries(0) => return,
+            CacheBound::Bytes(b) if bytes > b => return,
             _ => {}
         }
         self.tick += 1;
@@ -263,14 +339,17 @@ impl PlanCache {
         }
         self.stats.insertions += 1;
         self.bytes_used += bytes;
-        self.entries.insert(key, CacheEntry { prepared, last_used: self.tick, bytes });
+        self.entries.insert(
+            key,
+            CacheEntry { prepared, last_used: self.tick, bytes, inserted_at: Instant::now() },
+        );
     }
 
     /// Would adding an entry of `incoming` bytes exceed the budget?
     fn over_budget_with(&self, incoming: usize) -> bool {
-        match self.budget {
-            CacheBudget::Entries(n) => self.entries.len() + 1 > n,
-            CacheBudget::Bytes(b) => !self.entries.is_empty() && self.bytes_used + incoming > b,
+        match self.budget.bound {
+            CacheBound::Entries(n) => self.entries.len() + 1 > n,
+            CacheBound::Bytes(b) => !self.entries.is_empty() && self.bytes_used + incoming > b,
         }
     }
 
@@ -404,6 +483,9 @@ mod tests {
         // A different pipeline for the same matrix is a distinct key...
         assert!(cache.get(&CacheKey::new(fp, clustered.knobs())).is_none());
         assert!(cache.get(&CacheKey::new(fp, baseline.knobs())).is_some());
+        // ...as is the same pipeline on a different backend...
+        let tiled = baseline.on_backend(crate::backend::BackendId::TiledCpu);
+        assert!(cache.get(&CacheKey::new(fp, tiled.knobs())).is_none());
         // ...but a plan differing only in rationale shares the entry.
         let renamed = Plan { rationale: "same knobs, different words", ..baseline };
         assert!(cache.get(&CacheKey::new(fp, renamed.knobs())).is_some());
@@ -447,7 +529,7 @@ mod tests {
         let sizes: Vec<usize> = prepared.iter().map(|p| p.approx_bytes()).collect();
         let budget = sizes[1] + sizes[2];
         assert!(budget < sizes.iter().sum::<usize>());
-        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(budget));
+        let mut cache = PlanCache::with_budget(CacheBudget::bytes(budget));
         cache.insert(keys[0], Arc::clone(&prepared[0]));
         cache.insert(keys[1], Arc::clone(&prepared[1]));
         assert_eq!(cache.bytes(), sizes[0] + sizes[1]);
@@ -464,7 +546,7 @@ mod tests {
     fn oversized_operand_is_never_cached_under_byte_budget() {
         let a = poisson2d(10, 10);
         let p = Arc::new(prepared_for(&a));
-        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(p.approx_bytes() - 1));
+        let mut cache = PlanCache::with_budget(CacheBudget::bytes(p.approx_bytes() - 1));
         cache.insert(auto_key(&a), p);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().insertions, 0);
@@ -477,7 +559,7 @@ mod tests {
         let key = auto_key(&a);
         let p = Arc::new(prepared_for(&a));
         let sz = p.approx_bytes();
-        let mut cache = PlanCache::with_budget(CacheBudget::Bytes(sz));
+        let mut cache = PlanCache::with_budget(CacheBudget::bytes(sz));
         cache.insert(key, Arc::clone(&p));
         cache.insert(key, p); // same key: must not evict or double-count
         assert_eq!(cache.len(), 1);
@@ -490,9 +572,9 @@ mod tests {
     #[test]
     fn entries_budget_matches_legacy_capacity_semantics() {
         let cache = PlanCache::new(7);
-        assert_eq!(cache.budget(), CacheBudget::Entries(7));
+        assert_eq!(cache.budget(), CacheBudget::entries(7));
         assert_eq!(cache.capacity(), 7);
-        let bytes = PlanCache::with_budget(CacheBudget::Bytes(1 << 20));
+        let bytes = PlanCache::with_budget(CacheBudget::bytes(1 << 20));
         assert_eq!(bytes.capacity(), usize::MAX);
     }
 
@@ -516,5 +598,93 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_ttl_expires_on_next_lookup() {
+        let a = poisson2d(7, 7);
+        let key = auto_key(&a);
+        let budget = CacheBudget::entries(4).with_ttl(Duration::ZERO);
+        assert_eq!(budget.ttl, Some(Duration::ZERO));
+        let mut cache = PlanCache::with_budget(budget);
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key).is_none(), "zero TTL must expire immediately");
+        assert!(cache.is_empty(), "expired entry is removed on lookup");
+        let s = cache.stats();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.misses, 1, "expiry is reported as a miss");
+        assert_eq!(s.hits, 0);
+        assert_eq!(cache.bytes(), 0, "expired footprint is released");
+    }
+
+    #[test]
+    fn entries_within_ttl_still_hit() {
+        let a = poisson2d(7, 7);
+        let key = auto_key(&a);
+        let budget = CacheBudget::entries(4).with_ttl(Duration::from_secs(3600));
+        let mut cache = PlanCache::with_budget(budget);
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert!(cache.get(&key).is_some(), "an hour-long TTL cannot expire mid-test");
+        assert_eq!(cache.stats().expirations, 0);
+    }
+
+    #[test]
+    fn ttl_measures_age_since_insertion_not_recency() {
+        let a = poisson2d(6, 6);
+        let key = auto_key(&a);
+        let ttl = Duration::from_millis(40);
+        let mut cache = PlanCache::with_budget(CacheBudget::entries(4).with_ttl(ttl));
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        // Keep the entry hot: recency refreshes must NOT extend its life.
+        assert!(cache.get(&key).is_some());
+        std::thread::sleep(ttl + Duration::from_millis(20));
+        assert!(cache.get(&key).is_none(), "hot-but-old entry must still expire");
+        assert_eq!(cache.stats().expirations, 1);
+        // Re-inserting restarts the clock.
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn get_or_prepare_reprepares_an_expired_entry() {
+        let a = poisson2d(7, 7);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::with_budget(CacheBudget::entries(4).with_ttl(Duration::ZERO));
+        let mut calls = 0;
+        for _ in 0..3 {
+            let (_, hit) = cache.get_or_prepare(
+                key,
+                |_| true,
+                || {
+                    calls += 1;
+                    prepared_for(&a)
+                },
+            );
+            assert!(!hit, "every lookup against a zero TTL is stale");
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats().expirations, 2, "first lookup was a plain miss");
+    }
+
+    #[test]
+    fn purge_expired_sweeps_eagerly() {
+        let mats: Vec<CsrMatrix> = (5..8).map(|n| poisson2d(n, n)).collect();
+        let mut cache = PlanCache::with_budget(CacheBudget::entries(8).with_ttl(Duration::ZERO));
+        for m in &mats {
+            cache.insert(auto_key(m), Arc::new(prepared_for(m)));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.purge_expired(), 3);
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        let s = cache.stats();
+        assert_eq!(s.expirations, 3);
+        assert_eq!(s.misses, 0, "eager purge is not a lookup");
+        // Without a TTL the sweep is a no-op.
+        let mut plain = PlanCache::new(4);
+        plain.insert(auto_key(&mats[0]), Arc::new(prepared_for(&mats[0])));
+        assert_eq!(plain.purge_expired(), 0);
+        assert_eq!(plain.len(), 1);
     }
 }

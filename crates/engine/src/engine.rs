@@ -88,9 +88,24 @@ impl Engine {
         self.cache.len()
     }
 
-    /// Drops all cached operands (counters are kept).
+    /// Drops all cached operands (counters are kept). The feedback store
+    /// is **not** touched: per-operand plan choices, observation EWMAs,
+    /// and calibration survive, so re-prepared operands keep running their
+    /// converged plans. Use [`Engine::reset`] to also forget what the
+    /// feedback loop has learned.
     pub fn clear_cache(&mut self) {
         self.cache.clear()
+    }
+
+    /// Returns the engine to its just-constructed state: clears the plan
+    /// cache *and* the feedback store (cache counters are kept, matching
+    /// [`Engine::clear_cache`]). After a reset, the next sighting of every
+    /// operand re-profiles, re-plans, and re-prepares from scratch —
+    /// unlike `clear_cache`, which only drops the prepared bytes while the
+    /// learned plan choices keep steering execution.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.feedback.clear();
     }
 
     /// Fingerprints `a` and returns its cached or freshly prepared operand
@@ -180,6 +195,7 @@ impl Engine {
         );
         let report = ExecutionReport {
             plan: prepared.plan,
+            backend: prepared.backend_id(),
             fingerprint: prepared.fingerprint,
             cache_hit,
             timings,
@@ -189,15 +205,34 @@ impl Engine {
         (c, report)
     }
 
-    /// `A · bᵢ` for every right-hand side, preparing `a` exactly once. The
-    /// returned reports show the first multiply paying preprocessing and
-    /// the rest hitting the cache.
+    /// `A · bᵢ` for every right-hand side, preparing `a` exactly once: the
+    /// operand is resolved a single time and reused for every multiply
+    /// (one lookup, many kernels — the same shape `cw-service` shards use
+    /// for coalesced batches). The returned reports show the first
+    /// multiply paying any preprocessing and the rest flagged `cache_hit`
+    /// — batch-local reuse counts as a hit even when the cache itself is
+    /// disabled, because no preprocessing was paid (the plan cache's own
+    /// [`CacheStats`] counters are not inflated by it). Observed
+    /// timings still feed the per-execution feedback loop; a re-plan they
+    /// trigger takes effect from the *next* resolution of the operand, not
+    /// mid-batch.
     pub fn multiply_batch(
         &mut self,
         a: &CsrMatrix,
         bs: &[CsrMatrix],
     ) -> Vec<(CsrMatrix, ExecutionReport)> {
-        bs.iter().map(|b| self.multiply(a, b)).collect()
+        if bs.is_empty() {
+            return Vec::new();
+        }
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None);
+        bs.iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let (t, hit) =
+                    if i == 0 { (timings, cache_hit) } else { (StageTimings::default(), true) };
+                self.execute_prepared(&prepared, b, t, hit)
+            })
+            .collect()
     }
 
     /// Records one observed kernel time for plan `knobs` on the operand
@@ -267,10 +302,15 @@ impl Engine {
         };
         let key = CacheKey::new(fp, plan.knobs());
         let planner = &self.planner;
+        // The plan names its backend; the planner's registry owns the
+        // implementation (so a custom registry — narrower tiles, an
+        // accelerator backend — changes execution without touching the
+        // cache or feedback layers).
+        let backend = planner.backends.resolve(plan.backend);
         let (prepared, hit) = self.cache.get_or_prepare(
             key,
             |cached| cached.checksum == sum,
-            || PreparedMatrix::prepare(a, plan, planner.seed, &planner.cluster),
+            || PreparedMatrix::prepare_on(&backend, a, plan, planner.seed, &planner.cluster),
         );
         let timings = if hit {
             // Reorder/cluster work was done by whichever call prepared the
@@ -406,13 +446,58 @@ mod tests {
         // Generous budget: the prepared operand fits, so the second call hits.
         let mut engine = Engine::with_cache(
             Planner::default(),
-            crate::cache::PlanCache::with_budget(crate::cache::CacheBudget::Bytes(16 << 20)),
+            crate::cache::PlanCache::with_budget(crate::cache::CacheBudget::bytes(16 << 20)),
         );
         let (_, r1) = engine.multiply(&a, &a);
         let (_, r2) = engine.multiply(&a, &a);
         assert!(!r1.cache_hit && r2.cache_hit);
         assert!(engine.cache().bytes() > 0);
         assert!(engine.cache().bytes() <= 16 << 20);
+    }
+
+    #[test]
+    fn reports_carry_the_executing_backend() {
+        let a = gen::grid::poisson2d(9, 9);
+        let mut engine = Engine::default();
+        let (_, auto_rep) = engine.multiply(&a, &a);
+        assert_eq!(auto_rep.backend, crate::backend::BackendId::ParallelCpu);
+
+        let forced = Plan::baseline().on_backend(crate::backend::BackendId::SerialReference);
+        let (c, rep) = engine.multiply_planned(&a, &a, forced);
+        assert_eq!(rep.backend, crate::backend::BackendId::SerialReference);
+        assert!(c.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        // Same pipeline, different backend: a distinct cache entry.
+        assert!(!rep.cache_hit);
+        let (_, rep2) = engine.multiply_planned(&a, &a, forced);
+        assert!(rep2.cache_hit, "backend-forced preparations are cached under their own key");
+    }
+
+    #[test]
+    fn reset_clears_cache_and_feedback_while_clear_cache_keeps_feedback() {
+        let a = gen::grid::poisson2d(10, 10);
+        let key = OperandKey::of(&a);
+        let mut engine = Engine::default();
+        let _ = engine.multiply(&a, &a);
+        assert!(engine.feedback_state(&key).is_some());
+        assert_eq!(engine.cached_operands(), 1);
+
+        // clear_cache drops the bytes but keeps the learned state: the
+        // next multiply re-prepares without re-planning.
+        engine.clear_cache();
+        assert_eq!(engine.cached_operands(), 0);
+        assert!(engine.feedback_state(&key).is_some(), "clear_cache must keep feedback");
+        let (_, rep) = engine.multiply(&a, &a);
+        assert!(!rep.cache_hit);
+        assert_eq!(rep.timings.plan_seconds, 0.0, "plan came from the feedback fast path");
+
+        // reset forgets everything: the next multiply re-plans too.
+        engine.reset();
+        assert_eq!(engine.cached_operands(), 0);
+        assert!(engine.feedback_state(&key).is_none(), "reset must clear feedback");
+        assert!(engine.feedback().is_empty());
+        let (_, rep) = engine.multiply(&a, &a);
+        assert!(!rep.cache_hit);
+        assert!(rep.timings.plan_seconds > 0.0, "first sighting after reset re-plans");
     }
 
     #[test]

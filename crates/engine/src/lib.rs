@@ -12,32 +12,41 @@
 //! 1. **Plan** — [`Planner`] computes the structural [`Profile`] (via
 //!    `cw-reorder`'s advisor), prices every candidate [`Plan`] —
 //!    reordering × clustering strategy × kernel × accumulator ×
-//!    parallelism knobs — with the analytic [`CostModel`], and ranks them
-//!    by cost amortized under the caller's [`PlanningPolicy`] (expected
-//!    reuse, optional preprocessing budget). [`Planner::plans_ranked`] is
-//!    the budget-aware fall-through list; [`Planner::plan_static`] keeps
-//!    the pre-cost-model rule-based choice for ablation.
-//! 2. **Prepare** — [`PreparedMatrix::prepare`] materializes the plan
-//!    once: permutation computed and applied, `CSR_Cluster` built,
-//!    per-stage timings recorded. Prepared operands are reusable across
-//!    any number of right-hand sides and always return results in the
-//!    original row order.
+//!    parallelism knobs × **execution backend** — with the analytic
+//!    [`CostModel`], and ranks them by cost amortized under the caller's
+//!    [`PlanningPolicy`] (expected reuse, optional preprocessing budget).
+//!    [`Planner::plans_ranked`] is the budget-aware fall-through list;
+//!    [`Planner::plan_static`] keeps the pre-cost-model rule-based choice
+//!    for ablation.
+//! 2. **Prepare** — [`PreparedMatrix::prepare`] materializes the plan once
+//!    *on the plan's backend*: the [`ExecutionBackend`] owns its
+//!    backend-specific payload (permutation computed and applied,
+//!    `CSR_Cluster` built, tile geometry chosen), with per-stage timings
+//!    recorded. Prepared operands are reusable across any number of
+//!    right-hand sides and always return results in the original row
+//!    order.
 //! 3. **Cache** — [`PlanCache`] maps cheap matrix fingerprints
 //!    ([`cw_sparse::fingerprint()`]) plus plan knobs to prepared operands
-//!    under a [`CacheBudget`] — entry-bounded or byte-bounded LRU — with
-//!    hit/miss/eviction counters, so repeated traffic on the same matrix
-//!    skips preprocessing entirely. Keying by `(fingerprint, knobs)` lets
-//!    preparations under different plans coexist, which is what makes
-//!    feedback re-planning cheap to undo.
-//! 4. **Execute** — [`Engine::multiply`] / [`Engine::multiply_batch`] run
-//!    the prepared kernel under rayon and return an [`ExecutionReport`]
-//!    with per-stage wall-clock timings and calibration state.
+//!    under a [`CacheBudget`] — entry-bounded or byte-bounded LRU, with an
+//!    optional TTL — with hit/miss/eviction/expiry counters, so repeated
+//!    traffic on the same matrix skips preprocessing entirely. Keying by
+//!    `(fingerprint, knobs)` — the knobs include the backend — lets
+//!    preparations under different plans and backends coexist, which is
+//!    what makes feedback re-planning cheap to undo.
+//! 4. **Execute** — [`Engine::multiply`] / [`Engine::multiply_batch`]
+//!    dispatch the prepared kernel through its backend ([`ParallelCpu`]
+//!    rayon by default, [`SerialReference`] oracle, [`TiledCpu`]
+//!    cache-blocked — or anything registered in the planner's
+//!    [`BackendRegistry`]) and return an [`ExecutionReport`] with the
+//!    backend id and per-stage wall-clock timings.
 //! 5. **Feed back** — the engine's [`FeedbackStore`] keeps per-fingerprint
-//!    EWMAs of observed kernel seconds per candidate plan. Observed
-//!    timings correct the cost model's estimates after every execution:
-//!    plans that underperform their prediction are demoted, observed-fast
-//!    plans promoted, so repeated traffic converges on the empirically
-//!    fastest plan (`cw-service` threads this loop through every shard).
+//!    EWMAs of observed kernel seconds per candidate plan — backends
+//!    included, so per-backend timings are learned exactly like any other
+//!    knob. Observed timings correct the cost model's estimates after
+//!    every execution: plans that underperform their prediction are
+//!    demoted, observed-fast plans (and backends) promoted, so repeated
+//!    traffic converges on the empirically fastest plan (`cw-service`
+//!    threads this loop through every shard).
 //!
 //! ```
 //! use cw_engine::Engine;
@@ -62,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cache;
 mod cost;
 mod engine;
@@ -70,7 +80,11 @@ mod planner;
 mod prepared;
 mod report;
 
-pub use cache::{CacheBudget, CacheKey, CacheStats, PlanCache};
+pub use backend::{
+    materialize_cpu, BackendCaps, BackendId, BackendPayload, BackendRegistry, CpuOperand,
+    ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand, DEFAULT_TILE_COLS,
+};
+pub use cache::{CacheBound, CacheBudget, CacheKey, CacheStats, PlanCache};
 pub use cost::{
     CostEstimate, CostModel, Ewma, FeedbackStore, OperandFeatures, OperandKey, PlanFeedbackState,
     PlanningPolicy, CALIBRATION_CLAMP, DEFAULT_FEEDBACK_CAPACITY, EWMA_ALPHA,

@@ -8,6 +8,7 @@
 //! plain data — building one does no work; [`crate::PreparedMatrix`]
 //! materializes it.
 
+use crate::backend::BackendId;
 use cw_reorder::advisor::Suggestion;
 use cw_reorder::Reordering;
 use cw_spgemm::rowwise::SpGemmOptions;
@@ -53,6 +54,9 @@ pub struct Plan {
     pub parallel: bool,
     /// Row/cluster chunks per rayon thread (load-balance granularity).
     pub chunks_per_thread: usize,
+    /// Execution backend the plan runs on (resolved through the
+    /// [`crate::BackendRegistry`] at prepare/execute time).
+    pub backend: BackendId,
     /// One-line explanation of why the planner chose this plan.
     pub rationale: &'static str,
 }
@@ -75,6 +79,10 @@ pub struct PlanKnobs {
     pub parallel: bool,
     /// See [`Plan::chunks_per_thread`].
     pub chunks_per_thread: usize,
+    /// See [`Plan::backend`]. Backend identity is part of the knobs, so
+    /// cache entries and feedback candidates are effectively keyed by
+    /// `(fingerprint, pipeline knobs, backend)`.
+    pub backend: BackendId,
 }
 
 impl Plan {
@@ -87,8 +95,15 @@ impl Plan {
             acc: AccumulatorKind::Hash,
             parallel: true,
             chunks_per_thread: 8,
+            backend: BackendId::ParallelCpu,
             rationale: "baseline row-wise Gustavson",
         }
+    }
+
+    /// The same pipeline on a different execution backend (builder-style;
+    /// used to force a backend for ablations and cross-validation).
+    pub fn on_backend(self, backend: BackendId) -> Plan {
+        Plan { backend, ..self }
     }
 
     /// Translates an advisor [`Suggestion`] into a plan skeleton
@@ -128,6 +143,7 @@ impl Plan {
             acc: self.acc,
             parallel: self.parallel,
             chunks_per_thread: self.chunks_per_thread,
+            backend: self.backend,
         }
     }
 
@@ -163,7 +179,7 @@ impl Plan {
             KernelChoice::RowWise => "RowWise",
             KernelChoice::ClusterWise => "ClusterWise",
         };
-        format!("{reorder} → {clustering} → {kernel} [{:?}]", self.acc)
+        format!("{reorder} → {clustering} → {kernel} [{:?}] @{}", self.acc, self.backend.name())
     }
 }
 
@@ -210,6 +226,15 @@ mod tests {
         let p = Plan::from_suggestion(Suggestion::Reorder(Reordering::Degree));
         let s = p.describe();
         assert!(s.contains("Degree") && s.contains("RowWise"), "{s}");
+    }
+
+    #[test]
+    fn backend_is_part_of_the_knobs_and_description() {
+        let p = Plan::baseline();
+        assert_eq!(p.backend, BackendId::ParallelCpu);
+        let t = p.on_backend(BackendId::TiledCpu);
+        assert_ne!(p.knobs(), t.knobs(), "backend must change cache identity");
+        assert!(t.describe().contains("tiled-cpu"), "{}", t.describe());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! outputs per Nagasaka et al.'s regime analysis; serial execution for
 //! matrices too small to amortize fork/join.
 
+use crate::backend::{BackendId, BackendRegistry};
 use crate::cost::{CostEstimate, CostModel, OperandFeatures, PlanningPolicy};
 use crate::plan::Plan;
 use cw_core::ClusterConfig;
@@ -55,6 +56,15 @@ pub struct Planner {
     pub policy: PlanningPolicy,
     /// The analytic cost model pricing candidate plans.
     pub cost: CostModel,
+    /// Execution backends the planner may plan onto (and the engine
+    /// resolves prepare/execute against). Backends whose capability
+    /// descriptor sets `planner_candidate` contribute plan variants to
+    /// [`Planner::plans_costed`], priced from their own caps.
+    pub backends: BackendRegistry,
+    /// When `Some`, every produced plan is pinned to this backend and no
+    /// cross-backend variants are generated — how a service shard (or an
+    /// ablation) forces one execution strategy end to end.
+    pub forced_backend: Option<BackendId>,
 }
 
 impl Default for Planner {
@@ -64,6 +74,8 @@ impl Default for Planner {
             cluster: ClusterConfig::default(),
             policy: PlanningPolicy::default(),
             cost: CostModel::default(),
+            backends: BackendRegistry::builtin(),
+            forced_backend: None,
         }
     }
 }
@@ -77,6 +89,13 @@ impl Planner {
     /// Planner with an explicit seed and planning policy.
     pub fn with_policy(seed: u64, policy: PlanningPolicy) -> Planner {
         Planner { seed, policy, ..Planner::default() }
+    }
+
+    /// Planner pinned to one execution backend: every plan it produces
+    /// (ranked, static, or suggestion-derived) carries `backend`, and no
+    /// cross-backend candidates are generated.
+    pub fn with_backend(seed: u64, backend: BackendId) -> Planner {
+        Planner { seed, forced_backend: Some(backend), ..Planner::default() }
     }
 
     /// The structural profile driving plan decisions (delegates to
@@ -118,13 +137,41 @@ impl Planner {
             if out.iter().any(|r: &RankedPlan| r.plan.knobs() == plan.knobs()) {
                 return;
             }
-            let estimate = self.cost.estimate(&features, &plan, affinity);
+            let caps = self.backends.caps(plan.backend);
+            let estimate = self.cost.estimate_with_caps(&features, &plan, affinity, &caps);
             out.push(RankedPlan { plan, estimate, affinity });
         };
         for r in &advice.ranked {
             push(self.plan_for_suggestion(a, r.suggestion), r.affinity, &mut out);
         }
         push(self.tune(a, Plan::baseline()), 0.0, &mut out);
+
+        // Cross-backend variants: every pipeline also runs on each
+        // registered alternative backend that advertises itself as a
+        // planner candidate, priced from that backend's own capability
+        // descriptor. Variants are appended *after* the reference-backend
+        // candidates, so a cost tie breaks toward the default path (the
+        // sort below is stable). A pinned planner skips this entirely.
+        // A column-tiled backend whose tile width the operand's output
+        // cannot split degenerates to the reference execution — offering
+        // it would seed a redundant twin candidate (identical predicted
+        // cost, identical behavior, distinct cache key) that the feedback
+        // loop could flap onto for no gain, so it is excluded up front.
+        if self.forced_backend.is_none() {
+            let alternates: Vec<(BackendId, &'static str)> = self
+                .backends
+                .iter()
+                .filter(|b| b.caps().planner_candidate && b.id() != BackendId::ParallelCpu)
+                .filter(|b| b.caps().tile_cols.is_none_or(|w| features.ncols > w.max(1)))
+                .map(|b| (b.id(), backend_rationale(b.id())))
+                .collect();
+            let base: Vec<RankedPlan> = out.clone();
+            for (id, rationale) in alternates {
+                for r in &base {
+                    push(Plan { backend: id, rationale, ..r.plan }, r.affinity, &mut out);
+                }
+            }
+        }
 
         let reuse = self.policy.expected_reuse;
         let budget = self.policy.prep_budget_seconds.unwrap_or(f64::INFINITY);
@@ -157,8 +204,12 @@ impl Planner {
         self.tune(a, plan)
     }
 
-    /// Applies accumulator and parallelism knobs from `a`'s shape.
+    /// Applies accumulator, parallelism, and backend knobs from `a`'s
+    /// shape and the planner's backend pin.
     fn tune(&self, a: &CsrMatrix, mut plan: Plan) -> Plan {
+        if let Some(backend) = self.forced_backend {
+            plan.backend = backend;
+        }
         // The accumulator is sized by the *output* width, which for C = A·B
         // is b.ncols — unknown at plan time. a.ncols is the contraction
         // dimension and tracks output width for the square/`A²` workloads
@@ -182,6 +233,17 @@ impl Planner {
     /// (Used by tests to cross-check the advisor's decision surface.)
     pub fn would_reorder_with(&self, a: &CsrMatrix, r: Reordering) -> bool {
         advise(a).iter().any(|s| matches!(s, Suggestion::Reorder(x) if *x == r))
+    }
+}
+
+/// Static rationale string for a cross-backend plan variant.
+fn backend_rationale(id: BackendId) -> &'static str {
+    match id {
+        BackendId::ParallelCpu => "reference rayon execution",
+        BackendId::SerialReference => "serial oracle execution",
+        BackendId::TiledCpu => {
+            "column-tiled variant: cache-blocked execution the feedback loop can adopt"
+        }
     }
 }
 
@@ -333,6 +395,66 @@ mod tests {
         let plan = Planner::default().plan(&a);
         assert_eq!(plan.clustering, ClusteringStrategy::Variable);
         assert_eq!(plan.kernel, KernelChoice::ClusterWise);
+    }
+
+    #[test]
+    fn candidate_set_offers_tiled_variants_but_defaults_to_parallel_cpu() {
+        let planner = Planner::default();
+        // Wide output (> one default tile): tiled variants are offered.
+        let wide = gen::er::erdos_renyi(1400, 3, 1);
+        let ranked = planner.plans_costed(&wide);
+        assert_eq!(
+            ranked[0].plan.backend,
+            BackendId::ParallelCpu,
+            "first-sight choice must stay on the reference backend: {}",
+            ranked[0].plan.describe()
+        );
+        assert!(
+            ranked.iter().any(|r| r.plan.backend == BackendId::TiledCpu),
+            "tiled variants must be in the candidate set for feedback to discover"
+        );
+        assert!(
+            ranked.iter().all(|r| r.plan.backend != BackendId::SerialReference),
+            "the oracle must never be an auto-traffic candidate"
+        );
+    }
+
+    #[test]
+    fn narrow_outputs_get_no_degenerate_tiled_candidates() {
+        // One default tile covers the whole output: the tiled backend
+        // would execute identically to the reference path, so offering it
+        // would only seed a redundant twin the feedback loop could flap
+        // onto. It must not appear.
+        let planner = Planner::default();
+        for a in [gen::grid::poisson2d(16, 16), gen::mesh::tri_mesh(16, 16, true, 3)] {
+            assert!(a.ncols <= crate::backend::DEFAULT_TILE_COLS);
+            let ranked = planner.plans_costed(&a);
+            assert!(
+                ranked.iter().all(|r| r.plan.backend == BackendId::ParallelCpu),
+                "narrow operands must plan only on the reference backend"
+            );
+        }
+        // A registry with a narrower tile re-enables the variants.
+        let mut narrow_tiles = Planner::default();
+        narrow_tiles.backends.register(std::sync::Arc::new(crate::backend::TiledCpu::new(64)));
+        let a = gen::grid::poisson2d(16, 16); // 256 cols > 64-wide tiles
+        assert!(narrow_tiles
+            .plans_costed(&a)
+            .iter()
+            .any(|r| r.plan.backend == BackendId::TiledCpu));
+    }
+
+    #[test]
+    fn pinned_planner_produces_only_that_backend() {
+        let planner = Planner::with_backend(7, BackendId::SerialReference);
+        let a = gen::mesh::tri_mesh(14, 14, true, 2);
+        let ranked = planner.plans_costed(&a);
+        assert!(!ranked.is_empty());
+        for r in &ranked {
+            assert_eq!(r.plan.backend, BackendId::SerialReference, "{}", r.plan.describe());
+        }
+        assert_eq!(planner.plan_static(&a).backend, BackendId::SerialReference);
+        assert_eq!(planner.plan(&a).backend, BackendId::SerialReference);
     }
 
     #[test]

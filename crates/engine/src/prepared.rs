@@ -1,5 +1,5 @@
-//! Prepared operands: a [`Plan`] materialized once, reusable across many
-//! multiplies.
+//! Prepared operands: a [`Plan`] materialized once by its execution
+//! backend, reusable across many multiplies.
 //!
 //! Preparation is the expensive part of the paper's pipeline — computing a
 //! reordering permutation and building the `CSR_Cluster` structure — and
@@ -8,14 +8,19 @@
 //! stage took; [`PreparedMatrix::multiply`] then runs only the kernel plus
 //! an `O(nnz(C))` row un-permutation, returning results in the *original*
 //! row order so callers never observe the internal reordering.
+//!
+//! The materialized payload is owned by the plan's
+//! [`crate::ExecutionBackend`]: `prepare` asks the backend for its
+//! backend-specific [`crate::BackendPayload`], and `multiply` dispatches
+//! back to the same backend instance — the prepared operand carries its
+//! executor with it, so cached entries stay runnable no matter which
+//! registry resolved them.
 
-use crate::plan::{ClusteringStrategy, KernelChoice, Plan};
-use cw_core::{
-    fixed_clustering, hierarchical_clustering, variable_clustering, ClusterConfig, CsrCluster,
-};
-use cw_reorder::Reordering;
+use crate::backend::{BackendId, BackendPayload, BackendRegistry, ExecutionBackend};
+use crate::plan::Plan;
+use cw_core::ClusterConfig;
 use cw_sparse::{checksum, fingerprint, CsrMatrix, MatrixFingerprint, Permutation};
-use cw_spgemm::rowwise::spgemm_with;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock cost of each preparation stage, in seconds.
@@ -34,17 +39,11 @@ impl PrepTimings {
     }
 }
 
-/// The materialized operand: either plain CSR or `CSR_Cluster`.
-#[derive(Debug, Clone)]
-enum Operand {
-    RowWise(CsrMatrix),
-    ClusterWise(CsrCluster),
-}
-
-/// An `A` operand with its plan fully materialized.
+/// An `A` operand with its plan fully materialized by its backend.
 #[derive(Debug, Clone)]
 pub struct PreparedMatrix {
-    /// The plan this preparation realizes.
+    /// The plan this preparation realizes (its `backend` field names the
+    /// backend that owns the payload).
     pub plan: Plan,
     /// Fingerprint of the *original* (pre-permutation) operand.
     pub fingerprint: MatrixFingerprint,
@@ -57,86 +56,49 @@ pub struct PreparedMatrix {
     /// Inverse of the total row permutation (`None` when no reordering was
     /// applied); maps kernel output rows back to original row ids.
     unpermute: Option<Permutation>,
-    operand: Operand,
+    /// The backend-specific materialized operand.
+    payload: Arc<dyn BackendPayload>,
+    /// The backend that prepared (and therefore executes) the payload.
+    backend: Arc<dyn ExecutionBackend>,
     nrows: usize,
     ncols: usize,
     nnz: usize,
 }
 
 impl PreparedMatrix {
-    /// Materializes `plan` for `a`: computes and applies the row
-    /// permutation, builds the clustered format if the plan asks for one,
-    /// and records per-stage timings.
+    /// Materializes `plan` for `a` on the plan's backend, resolved from
+    /// the builtin [`BackendRegistry`]. Engines carrying a custom registry
+    /// use [`PreparedMatrix::prepare_on`] instead.
     ///
     /// `seed` feeds randomized reorderings; `cluster` parameterizes the
     /// Variable/Hierarchical strategies.
     pub fn prepare(a: &CsrMatrix, plan: Plan, seed: u64, cluster: &ClusterConfig) -> Self {
+        let backend = BackendRegistry::builtin().resolve(plan.backend);
+        PreparedMatrix::prepare_on(&backend, a, plan, seed, cluster)
+    }
+
+    /// Materializes `plan` for `a` on an explicit backend instance. The
+    /// stored plan's `backend` field is normalized to `backend.id()`, so a
+    /// prepared operand is always self-consistent about who executes it.
+    pub fn prepare_on(
+        backend: &Arc<dyn ExecutionBackend>,
+        a: &CsrMatrix,
+        mut plan: Plan,
+        seed: u64,
+        cluster: &ClusterConfig,
+    ) -> Self {
+        plan.backend = backend.id();
         let fp = fingerprint(a);
         let sum = checksum(a);
-        let mut timings = PrepTimings::default();
-
-        // Stage 1: explicit reordering (paper Table 1 algorithms).
-        let mut perm_total: Option<Permutation> = None;
-        let mut pa: Option<CsrMatrix> = None;
-        if let Some(r) = plan.reorder {
-            if r != Reordering::Original {
-                let t0 = Instant::now();
-                let p = r.compute(a, seed);
-                pa = Some(p.permute_rows(a));
-                perm_total = Some(p);
-                timings.reorder_seconds += t0.elapsed().as_secs_f64();
-            }
-        }
-
-        // Stage 2: clustering (paper §3.2 / Algs. 2–3). The kernel choice is
-        // authoritative: a row-wise plan never builds clusters, and a
-        // cluster-wise plan with `ClusteringStrategy::None` falls back to
-        // fixed-length grouping. Hierarchical clustering brings its own
-        // permutation, composed onto any explicit reordering.
-        let base = pa.unwrap_or_else(|| a.clone());
-        let operand = match plan.kernel {
-            KernelChoice::RowWise => Operand::RowWise(base),
-            KernelChoice::ClusterWise => {
-                let t0 = Instant::now();
-                let cc = match plan.clustering {
-                    ClusteringStrategy::None => {
-                        let c = fixed_clustering(&base, cluster.max_cluster.max(1));
-                        CsrCluster::from_csr(&base, &c)
-                    }
-                    ClusteringStrategy::Fixed(k) => {
-                        let c = fixed_clustering(&base, k.max(1));
-                        CsrCluster::from_csr(&base, &c)
-                    }
-                    ClusteringStrategy::Variable => {
-                        let c = variable_clustering(&base, cluster);
-                        CsrCluster::from_csr(&base, &c)
-                    }
-                    ClusteringStrategy::Hierarchical => {
-                        let h = hierarchical_clustering(&base, cluster);
-                        let hp = h.perm;
-                        let grouped = hp.permute_rows(&base);
-                        let cc = CsrCluster::from_csr(&grouped, &h.clustering);
-                        // Compose: the explicit reorder ran first, then `hp`.
-                        perm_total = Some(match perm_total.take() {
-                            None => hp,
-                            Some(first) => first.then(&hp),
-                        });
-                        cc
-                    }
-                };
-                timings.cluster_seconds += t0.elapsed().as_secs_f64();
-                Operand::ClusterWise(cc)
-            }
-        };
-
-        let unpermute = perm_total.map(|p| p.inverse());
+        let (payload, unpermute, timings) = backend.prepare(a, &plan, seed, cluster);
         PreparedMatrix {
             plan,
             fingerprint: fp,
             checksum: sum,
             timings,
             unpermute,
-            operand,
+            payload,
+            backend: Arc::clone(backend),
             nrows: a.nrows,
             ncols: a.ncols,
             nnz: a.nnz(),
@@ -160,26 +122,33 @@ impl PreparedMatrix {
         self.nnz
     }
 
+    /// The id of the backend that owns this preparation.
+    pub fn backend_id(&self) -> BackendId {
+        self.backend.id()
+    }
+
+    /// The backend-specific materialized payload (opaque to the engine;
+    /// custom backends downcast it via [`BackendPayload::as_any`]).
+    pub fn payload(&self) -> &dyn BackendPayload {
+        self.payload.as_ref()
+    }
+
     /// True when the kernel output needs row un-permutation.
     pub fn is_reordered(&self) -> bool {
         self.unpermute.is_some()
     }
 
-    /// Approximate resident heap footprint in bytes: the operand's
-    /// nnz/pointer arrays plus the un-permutation map. Byte-bounded cache
-    /// eviction ([`crate::CacheBudget::Bytes`]) sizes entries with this.
+    /// Approximate resident heap footprint in bytes: the backend payload
+    /// plus the un-permutation map. Byte-bounded cache eviction
+    /// ([`crate::CacheBound::Bytes`]) sizes entries with this.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        let operand = match &self.operand {
-            Operand::RowWise(m) => m.memory_bytes(),
-            Operand::ClusterWise(cc) => cc.memory_bytes(),
-        };
         let unpermute = self.unpermute.as_ref().map_or(0, |p| p.len() * size_of::<u32>());
-        size_of::<Self>() + operand + unpermute
+        size_of::<Self>() + self.payload.approx_bytes() + unpermute
     }
 
-    /// `C = A · b` using the materialized plan; rows of `C` come back in
-    /// the original (pre-reordering) order.
+    /// `C = A · b` using the materialized plan on its backend; rows of `C`
+    /// come back in the original (pre-reordering) order.
     pub fn multiply(&self, b: &CsrMatrix) -> CsrMatrix {
         self.multiply_timed(b).0
     }
@@ -187,12 +156,8 @@ impl PreparedMatrix {
     /// [`PreparedMatrix::multiply`] plus `(kernel, postprocess)` stage
     /// seconds.
     pub fn multiply_timed(&self, b: &CsrMatrix) -> (CsrMatrix, f64, f64) {
-        let opts = self.plan.spgemm_options();
         let t0 = Instant::now();
-        let c = match &self.operand {
-            Operand::RowWise(pa) => spgemm_with(pa, b, &opts),
-            Operand::ClusterWise(cc) => cw_core::clusterwise_spgemm_with(cc, b, &opts),
-        };
+        let c = self.backend.execute(self.payload.as_ref(), &self.plan, b);
         let kernel_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
@@ -208,7 +173,8 @@ impl PreparedMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::Plan;
+    use crate::plan::{ClusteringStrategy, KernelChoice, Plan};
+    use cw_reorder::Reordering;
     use cw_sparse::gen;
     use cw_spgemm::spgemm_serial;
 
@@ -260,6 +226,31 @@ mod tests {
                 ..Plan::baseline()
             },
         );
+    }
+
+    #[test]
+    fn every_builtin_backend_prepares_and_multiplies() {
+        let a = gen::mesh::tri_mesh(10, 10, true, 2);
+        let expect = spgemm_serial(&a, &a);
+        for id in BackendId::ALL {
+            let plan = Plan::baseline().on_backend(id);
+            let prepared = PreparedMatrix::prepare(&a, plan, 7, &ClusterConfig::default());
+            assert_eq!(prepared.backend_id(), id);
+            assert_eq!(prepared.plan.backend, id);
+            let got = prepared.multiply(&a);
+            assert!(got.numerically_eq(&expect, 1e-9), "backend {id:?} diverges");
+        }
+    }
+
+    #[test]
+    fn prepare_on_normalizes_the_plan_backend() {
+        let a = gen::grid::poisson2d(6, 6);
+        let backend = BackendRegistry::builtin().resolve(BackendId::SerialReference);
+        // The caller's plan still says ParallelCpu; prepare_on corrects it.
+        let prepared =
+            PreparedMatrix::prepare_on(&backend, &a, Plan::baseline(), 7, &Default::default());
+        assert_eq!(prepared.plan.backend, BackendId::SerialReference);
+        assert_eq!(prepared.backend_id(), BackendId::SerialReference);
     }
 
     #[test]

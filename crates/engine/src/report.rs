@@ -1,5 +1,6 @@
 //! Execution reports: what the engine did and where the time went.
 
+use crate::backend::BackendId;
 use crate::cost::PlanFeedbackState;
 use crate::plan::Plan;
 use cw_sparse::MatrixFingerprint;
@@ -40,9 +41,16 @@ impl StageTimings {
 pub struct ExecutionReport {
     /// The plan that executed.
     pub plan: Plan,
+    /// The execution backend that ran it (always equals `plan.backend`;
+    /// surfaced separately so telemetry consumers can aggregate per-backend
+    /// stage timings without digging through plan knobs).
+    pub backend: BackendId,
     /// Fingerprint of the `A` operand.
     pub fingerprint: MatrixFingerprint,
-    /// Whether the prepared operand came from the plan cache.
+    /// Whether the call was served from an already-prepared operand —
+    /// a plan-cache hit, or batch-local reuse of the operand resolved at
+    /// the head of an [`crate::Engine::multiply_batch`] call (the same
+    /// "no preprocessing was paid" semantics the service shards report).
     pub cache_hit: bool,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
@@ -105,6 +113,7 @@ mod tests {
     fn summary_mentions_cache_state_and_plan() {
         let rep = ExecutionReport {
             plan: Plan::baseline(),
+            backend: Plan::baseline().backend,
             fingerprint: fingerprint(&CsrMatrix::identity(4)),
             cache_hit: true,
             timings: StageTimings::default(),
@@ -113,12 +122,14 @@ mod tests {
         };
         let s = rep.summary();
         assert!(s.contains("hit") && s.contains("42"), "{s}");
+        assert!(s.contains("parallel-cpu"), "the backend must be visible: {s}");
     }
 
     #[test]
     fn summary_shows_calibration_when_feedback_is_present() {
         let rep = ExecutionReport {
             plan: Plan::baseline(),
+            backend: Plan::baseline().backend,
             fingerprint: fingerprint(&CsrMatrix::identity(4)),
             cache_hit: true,
             timings: StageTimings::default(),

@@ -1,6 +1,6 @@
 //! Request/response types crossing the service boundary.
 
-use cw_engine::{ExecutionReport, Plan};
+use cw_engine::{BackendId, ExecutionReport, Plan};
 use cw_sparse::CsrMatrix;
 use std::fmt;
 use std::sync::mpsc;
@@ -56,6 +56,10 @@ pub struct ServiceReport {
     pub latency_seconds: f64,
     /// Whether the prepared lhs came from the shard's plan cache.
     pub cache_hit: bool,
+    /// The execution backend that served this request (the shard's pinned
+    /// backend, the feedback loop's converged choice, or the request's
+    /// forced plan — see [`crate::ServiceConfig::backend`]).
+    pub backend: BackendId,
     /// The engine's per-stage report for the underlying multiply.
     pub execution: ExecutionReport,
 }

@@ -3,7 +3,9 @@
 use crate::request::{MultiplyRequest, SubmitError, Ticket};
 use crate::shard::{worker_loop, Batch, Completion, SlotGuard, Submission};
 use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};
-use cw_engine::{CacheBudget, Engine, PlanCache, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY};
+use cw_engine::{
+    BackendId, CacheBudget, Engine, PlanCache, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY,
+};
 use cw_sparse::{fingerprint, MatrixFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -38,6 +40,14 @@ pub struct ServiceConfig {
     /// preprocessing budget, and whether the per-shard feedback loop may
     /// re-plan operands from observed timings.
     pub policy: PlanningPolicy,
+    /// Execution-backend selection for the shards. `None` (the default)
+    /// lets each shard's planner pick per operand — the reference
+    /// [`BackendId::ParallelCpu`] path on first sight, with alternative
+    /// backends adopted through execution feedback. `Some(id)` pins every
+    /// shard's planner to that backend (oracle deployments, ablations,
+    /// machines where one backend is known best); per-request forced plans
+    /// still override it.
+    pub backend: Option<BackendId>,
     /// Latency reservoir size for p50/p99 estimation.
     pub reservoir_capacity: usize,
 }
@@ -49,9 +59,10 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             batch_window: Duration::from_millis(2),
             max_batch: 32,
-            cache_budget: CacheBudget::Entries(DEFAULT_CACHE_CAPACITY),
+            cache_budget: CacheBudget::entries(DEFAULT_CACHE_CAPACITY),
             seed: Planner::default().seed,
             policy: PlanningPolicy::default(),
+            backend: None,
             reservoir_capacity: 1024,
         }
     }
@@ -137,10 +148,11 @@ impl SpgemmService {
             let (tx, rx) = mpsc::channel::<Batch>();
             let slot = Arc::new(Mutex::new(ShardStats { shard, ..ShardStats::default() }));
             let reservoir = Arc::new(Mutex::new(LatencyReservoir::new(config.reservoir_capacity)));
-            let engine = Engine::with_cache(
-                Planner::with_policy(config.seed, config.policy),
-                PlanCache::with_budget(config.cache_budget),
-            );
+            let planner = Planner {
+                forced_backend: config.backend,
+                ..Planner::with_policy(config.seed, config.policy)
+            };
+            let engine = Engine::with_cache(planner, PlanCache::with_budget(config.cache_budget));
             let completion = Completion { completed: Arc::clone(&completed) };
             let (slot_c, reservoir_c) = (Arc::clone(&slot), Arc::clone(&reservoir));
             workers.push(
@@ -473,6 +485,30 @@ mod tests {
         let resp = t.wait().unwrap();
         assert_eq!(resp.report.execution.plan.knobs(), plan.knobs());
         assert!(resp.product.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        service.shutdown();
+    }
+
+    #[test]
+    fn pinned_backend_serves_every_request_on_it() {
+        let a = arc(gen::grid::poisson2d(11, 11));
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 2,
+            backend: Some(BackendId::SerialReference),
+            ..ServiceConfig::default()
+        });
+        for _ in 0..3 {
+            let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.report.backend, BackendId::SerialReference);
+            assert_eq!(resp.report.execution.plan.backend, BackendId::SerialReference);
+            assert!(resp.product.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
+        }
+        service.shutdown();
+
+        // The default config stays on the planner's choice: parallel-cpu.
+        let service = SpgemmService::new(ServiceConfig::default());
+        let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        assert_eq!(t.wait().unwrap().report.backend, BackendId::ParallelCpu);
         service.shutdown();
     }
 

@@ -118,6 +118,7 @@ pub(crate) fn worker_loop(
                 execute_seconds,
                 latency_seconds,
                 cache_hit: execution.cache_hit,
+                backend: execution.backend,
                 execution,
             };
             // A dropped Ticket is fine: the response is simply discarded.

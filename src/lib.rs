@@ -22,14 +22,19 @@
 //! * [`engine`] — **the front door**: an adaptive
 //!   plan/prepare/execute/feed-back pipeline. A `Planner` profiles the
 //!   operand, prices every candidate pipeline (reordering × clustering ×
-//!   kernel × accumulator) with a `CostModel`, and ranks them by cost
-//!   amortized under a caller-supplied `PlanningPolicy` (expected reuse,
-//!   preprocessing budget); `PreparedMatrix` materializes the chosen plan
-//!   once; a fingerprint+knobs-keyed `PlanCache` (entry- or byte-bounded)
-//!   lets repeated traffic skip preprocessing entirely;
-//!   `Engine::multiply` executes under rayon, reports per-stage timings,
-//!   and feeds observed kernel seconds into a per-operand `FeedbackStore`
-//!   that demotes mispredicted plans so traffic converges on the
+//!   kernel × accumulator × **execution backend**) with a `CostModel`,
+//!   and ranks them by cost amortized under a caller-supplied
+//!   `PlanningPolicy` (expected reuse, preprocessing budget);
+//!   `PreparedMatrix` materializes the chosen plan once *on its backend*
+//!   (the `ExecutionBackend` trait owns both the backend-specific payload
+//!   and the kernel dispatch — `ParallelCpu` rayon by default, a
+//!   `SerialReference` oracle, a column-tiled `TiledCpu`, or anything
+//!   registered in a `BackendRegistry`); a fingerprint+knobs-keyed
+//!   `PlanCache` (entry- or byte-bounded, optional TTL) lets repeated
+//!   traffic skip preprocessing entirely; `Engine::multiply` executes
+//!   through the backend, reports per-stage timings, and feeds observed
+//!   kernel seconds into a per-operand `FeedbackStore` that demotes
+//!   mispredicted plans (and backends) so traffic converges on the
 //!   empirically fastest pipeline.
 //! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
 //!   synthetic matrix generators, structural statistics, and the matrix
@@ -86,6 +91,13 @@
 //! assert!(!first.cache_hit && again.cache_hit);
 //! assert!(c_first.numerically_eq(&c_again, 0.0));
 //! assert!(c_first.numerically_eq(&spgemm(&a, &a), 1e-9));
+//!
+//! // Execution backends are a plan knob: force the serial oracle for a
+//! // bit-reproducible reference run of the *same* pipeline.
+//! let oracle_plan = first.plan.on_backend(BackendId::SerialReference);
+//! let (c_oracle, oracle) = engine.multiply_planned(&a, &a, oracle_plan);
+//! assert_eq!(oracle.backend, BackendId::SerialReference);
+//! assert!(c_oracle.numerically_eq(&c_first, 0.0));
 //! ```
 //!
 //! ## Quickstart: the serving layer (concurrent traffic)
@@ -128,8 +140,9 @@ pub mod prelude {
         ClusterConfig, Clustering, CsrCluster,
     };
     pub use cw_engine::{
-        CacheBudget, ClusteringStrategy, CostModel, Engine, ExecutionReport, FeedbackStore,
-        KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
+        BackendId, BackendRegistry, CacheBudget, ClusteringStrategy, CostModel, Engine,
+        ExecutionBackend, ExecutionReport, FeedbackStore, KernelChoice, Plan, PlanCache, Planner,
+        PlanningPolicy, PreparedMatrix,
     };
     pub use cw_reorder::Reordering;
     pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};

@@ -1,0 +1,208 @@
+//! Backend cross-validation: every registered execution backend must be
+//! **bit-identical** to the `SerialReference` oracle — same sparsity
+//! pattern (explicit zeros included), same floating-point values to the
+//! last ulp — across every planner branch and over random matrices.
+//!
+//! Bit-identity is achievable (not just approximate agreement) because the
+//! backends differ only in *where* work runs, never in the per-entry
+//! arithmetic order: the row-wise and cluster-wise kernels accumulate each
+//! output entry in ascending-`k` order whether execution is serial,
+//! rayon-chunked, or column-tiled, and every accumulator extracts sorted
+//! columns. Any divergence therefore indicates a real dispatch bug, not
+//! floating-point noise.
+
+use clusterwise_spgemm::engine::{
+    BackendId, BackendRegistry, ClusteringStrategy, ExecutionBackend, KernelChoice, Plan, Planner,
+    PreparedMatrix, Suggestion, TiledCpu,
+};
+use clusterwise_spgemm::prelude::*;
+use clusterwise_spgemm::sparse::gen;
+use clusterwise_spgemm::sparse::CooMatrix;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SEED: u64 = 7;
+
+/// A registry whose tiled backend uses a deliberately tiny tile width, so
+/// even the small test matrices split into many column tiles (the default
+/// 512-column tile would degenerate to the untiled path here).
+fn test_registry() -> BackendRegistry {
+    let mut reg = BackendRegistry::builtin();
+    reg.register(Arc::new(TiledCpu::new(16)));
+    reg
+}
+
+/// `A · b` under `plan` pinned to `id`, prepared and executed through the
+/// registry-resolved backend.
+fn product_on(
+    reg: &BackendRegistry,
+    id: BackendId,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    plan: Plan,
+) -> CsrMatrix {
+    let backend: Arc<dyn ExecutionBackend> = reg.resolve(id);
+    PreparedMatrix::prepare_on(&backend, a, plan, SEED, &ClusterConfig::default()).multiply(b)
+}
+
+/// Asserts every registered backend reproduces the oracle bit for bit.
+fn assert_backends_match_oracle(reg: &BackendRegistry, name: &str, a: &CsrMatrix, plan: Plan) {
+    let oracle = product_on(reg, BackendId::SerialReference, a, a, plan);
+    // Sanity: the oracle itself agrees with the independent row-wise
+    // serial baseline (up to the usual float tolerance — different
+    // pipeline, different summation order).
+    assert!(
+        oracle.numerically_eq(&spgemm_serial(a, a), 1e-9),
+        "{name}: oracle diverges from the row-wise baseline under {}",
+        plan.describe()
+    );
+    for id in reg.ids() {
+        if id == BackendId::SerialReference {
+            continue;
+        }
+        let got = product_on(reg, id, a, a, plan);
+        assert!(
+            got.approx_eq(&oracle, 0.0),
+            "{name}: backend {id:?} is not bit-identical to the serial oracle under {}",
+            plan.describe()
+        );
+    }
+}
+
+/// The generator corpus exercising every structural family the advisor's
+/// decision surface branches on.
+fn corpus() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("scrambled_mesh", gen::mesh::tri_mesh(12, 12, true, 3)),
+        ("poisson2d", gen::grid::poisson2d(12, 12)),
+        ("block_diagonal", gen::banded::block_diagonal(96, (4, 8), 0.1, 5)),
+        ("grouped_rows", gen::banded::grouped_rows(90, 5, 6, 2)),
+        ("rmat_powerlaw", gen::rmat::rmat(7, 6, gen::rmat::RmatParams::default(), 4)),
+        ("erdos_renyi", gen::er::erdos_renyi(120, 5, 9)),
+    ]
+}
+
+#[test]
+fn every_advisor_branch_is_bit_identical_across_backends() {
+    let reg = test_registry();
+    let planner = Planner::default();
+    for (name, a) in corpus() {
+        for suggestion in [
+            Suggestion::LeaveOriginal,
+            Suggestion::ClusterInPlace,
+            Suggestion::Hierarchical,
+            Suggestion::Reorder(Reordering::Rcm),
+            Suggestion::Reorder(Reordering::Degree),
+        ] {
+            let plan = planner.plan_for_suggestion(&a, suggestion);
+            assert_backends_match_oracle(&reg, name, &a, plan);
+        }
+    }
+}
+
+#[test]
+fn every_ranked_candidate_is_bit_identical_across_backends() {
+    // The planner's own fall-through list — including the cross-backend
+    // variants it generates — must be exact on every backend, so a
+    // feedback-driven backend switch can never change results.
+    let reg = test_registry();
+    let planner = Planner::default();
+    for (name, a) in [
+        ("scrambled_mesh", gen::mesh::tri_mesh(11, 11, true, 7)),
+        ("block_diagonal", gen::banded::block_diagonal(80, (4, 8), 0.15, 1)),
+    ] {
+        for ranked in planner.plans_costed(&a) {
+            assert_backends_match_oracle(&reg, name, &a, ranked.plan);
+        }
+    }
+}
+
+#[test]
+fn fixed_cluster_lengths_are_bit_identical_across_backends() {
+    let reg = test_registry();
+    let a = gen::grid::poisson2d(10, 9);
+    for k in [1usize, 3, 8] {
+        let plan = Plan {
+            clustering: ClusteringStrategy::Fixed(k),
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        assert_backends_match_oracle(&reg, "poisson_rect", &a, plan);
+    }
+}
+
+#[test]
+fn engine_traffic_on_forced_backends_matches_the_oracle_engine() {
+    // End-to-end through Engine (cache + feedback in the loop): an engine
+    // whose planner is pinned to each backend serves the same products as
+    // the oracle-pinned engine.
+    let a = gen::mesh::tri_mesh(12, 12, true, 5);
+    let mut oracle_engine = Engine::new(
+        Planner::with_backend(SEED, BackendId::SerialReference),
+        clusterwise_spgemm::engine::DEFAULT_CACHE_CAPACITY,
+    );
+    let (oracle, _) = oracle_engine.multiply(&a, &a);
+    for id in [BackendId::ParallelCpu, BackendId::TiledCpu] {
+        let mut engine = Engine::new(
+            Planner::with_backend(SEED, id),
+            clusterwise_spgemm::engine::DEFAULT_CACHE_CAPACITY,
+        );
+        for round in 0..3 {
+            let (got, rep) = engine.multiply(&a, &a);
+            assert_eq!(rep.backend, id, "round {round}");
+            assert!(
+                got.approx_eq(&oracle, 0.0),
+                "engine on {id:?} diverges from the oracle engine (round {round})"
+            );
+        }
+    }
+}
+
+/// Strategy: a random sparse square matrix (duplicates summed by the COO →
+/// CSR conversion, exactly as the other property suites build inputs).
+fn sparse_square(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (4usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            for (i, j, v) in entries {
+                coo.push(i, j, v);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_matrices_are_bit_identical_across_backends(a in sparse_square(40, 220)) {
+        let reg = test_registry();
+        let planner = Planner::default();
+        // The planner's top choice plus the two kernel-family extremes.
+        let mut plans = vec![
+            planner.plan(&a),
+            Plan::baseline(),
+            Plan {
+                clustering: ClusteringStrategy::Fixed(4),
+                kernel: KernelChoice::ClusterWise,
+                ..Plan::baseline()
+            },
+        ];
+        plans.dedup_by_key(|p| p.knobs());
+        for plan in plans {
+            let oracle = product_on(&reg, BackendId::SerialReference, &a, &a, plan);
+            for id in reg.ids() {
+                if id == BackendId::SerialReference {
+                    continue;
+                }
+                let got = product_on(&reg, id, &a, &a, plan);
+                prop_assert!(
+                    got.approx_eq(&oracle, 0.0),
+                    "backend {:?} diverges on a random {}x{} matrix under {}",
+                    id, a.nrows, a.ncols, plan.describe()
+                );
+            }
+        }
+    }
+}
