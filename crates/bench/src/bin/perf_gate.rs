@@ -1,0 +1,298 @@
+//! `perf_gate` — diffs freshly emitted `BENCH_*.json` reports against a
+//! checked-in baseline and fails on warm-path regressions.
+//!
+//! ```text
+//! perf_gate --current DIR [--baseline FILE] [--tolerance 0.25]
+//!           [--hard-tolerance 1.0] [--noise-floor-s 1e-4]
+//!           [--write-baseline FILE]
+//! ```
+//!
+//! The gate contract (documented in `docs/ARCHITECTURE.md`):
+//!
+//! * **Warm-path timings** — metrics named `warm…` are normalized by
+//!   their experiment's `anchor_s` machine-speed probe (a fixed reference
+//!   SpGEMM timed in the same run), so a faster or slower CI machine
+//!   shifts numerator and denominator together. Two failure modes:
+//!   **systemic** — the *median* normalized current ÷ baseline ratio
+//!   across all warm metrics exceeds `1 + tolerance` (default 25%), a
+//!   codebase-wide slowdown (the median is what makes the gate robust on
+//!   shared CI runners, where any single timing can spike ~30% while a
+//!   real regression shifts the whole distribution) — and **hard**: any
+//!   single metric regresses beyond `1 + hard_tolerance` (default 2×), a
+//!   localized but unambiguous regression. Baseline entries faster than
+//!   the noise floor (default 100µs) are skipped — microsecond medians
+//!   are timer noise, not signal.
+//! * **Quality metrics** (plan agreement, held-out error, speedups) are
+//!   informational in the gate; their hard bars are asserted
+//!   deterministically in `tests/calibration.rs`.
+//! * A baseline metric missing from the current run fails (metric names
+//!   are the diff keys and must stay stable); new metrics pass with a
+//!   note until the baseline is refreshed.
+//!
+//! `--write-baseline` merges the current reports into a fresh baseline
+//! file instead of gating — how `ci/bench_baseline.json` is (re)generated
+//! (the CI `workflow_dispatch` input `refresh_baseline` runs exactly
+//! this and uploads the result as an artifact to commit).
+
+use cw_bench::report::{Direction, BENCH_JSON_SCHEMA_VERSION};
+use cw_engine::calibrate::json::{self, escape, JsonValue};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One metric with its owning experiment.
+#[derive(Debug, Clone)]
+struct Entry {
+    experiment: String,
+    name: String,
+    value: f64,
+    direction: Direction,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_gate --current DIR [--baseline FILE] [--tolerance 0.25]\n\
+         \x20      [--hard-tolerance 1.0] [--noise-floor-s 1e-4] [--write-baseline FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_doc(text: &str, what: &str) -> Result<JsonValue, String> {
+    let doc = json::parse(text).map_err(|e| format!("{what}: {e}"))?;
+    let version = doc.get("schema_version").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+    if version != BENCH_JSON_SCHEMA_VERSION {
+        return Err(format!(
+            "{what}: schema_version {version} (this build reads {BENCH_JSON_SCHEMA_VERSION})"
+        ));
+    }
+    Ok(doc)
+}
+
+/// Reads every `BENCH_*.json` in `dir` into a flat entry list.
+fn read_current(dir: &Path) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|f| f.ok().map(|f| f.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json found in {}", dir.display()));
+    }
+    for path in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path:?}: {e}"))?;
+        let doc = parse_doc(&text, &path.display().to_string())?;
+        let experiment = doc
+            .get("experiment")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{}: missing experiment", path.display()))?
+            .to_string();
+        for m in doc.get("metrics").and_then(JsonValue::as_array).unwrap_or(&[]) {
+            entries.push(parse_metric(m, &experiment)?);
+        }
+    }
+    Ok(entries)
+}
+
+fn parse_metric(m: &JsonValue, experiment: &str) -> Result<Entry, String> {
+    let name = m.get("name").and_then(JsonValue::as_str).ok_or("metric missing name")?.to_string();
+    let value =
+        m.get("value").and_then(JsonValue::as_f64).ok_or_else(|| format!("{name}: no value"))?;
+    let direction = m
+        .get("direction")
+        .and_then(JsonValue::as_str)
+        .and_then(Direction::parse)
+        .ok_or_else(|| format!("{name}: bad direction"))?;
+    let experiment =
+        m.get("experiment").and_then(JsonValue::as_str).unwrap_or(experiment).to_string();
+    Ok(Entry { experiment, name, value, direction })
+}
+
+/// Reads a merged baseline file.
+fn read_baseline(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = parse_doc(&text, &path.display().to_string())?;
+    let mut entries = Vec::new();
+    for m in doc.get("metrics").and_then(JsonValue::as_array).unwrap_or(&[]) {
+        entries.push(parse_metric(m, "")?);
+    }
+    Ok(entries)
+}
+
+fn write_baseline(path: &Path, entries: &[Entry]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {BENCH_JSON_SCHEMA_VERSION},\n"));
+    s.push_str("  \"metrics\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"name\": \"{}\", \"value\": {:?}, \
+             \"direction\": \"{}\"}}{comma}\n",
+            escape(&e.experiment),
+            escape(&e.name),
+            e.value,
+            e.direction.name()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn find<'a>(entries: &'a [Entry], experiment: &str, name: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.experiment == experiment && e.name == name)
+}
+
+/// Is this metric a warm-path timing (anchor-normalized, gated)?
+fn is_warm_timing(e: &Entry) -> bool {
+    e.direction == Direction::LowerIsBetter && e.name.starts_with("warm")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current_dir: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_path: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
+    let mut hard_tolerance = 1.0f64;
+    let mut noise_floor = 1e-4f64;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--current" => current_dir = Some(PathBuf::from(arg(&mut i))),
+            "--baseline" => baseline_path = Some(PathBuf::from(arg(&mut i))),
+            "--write-baseline" => write_path = Some(PathBuf::from(arg(&mut i))),
+            "--tolerance" => tolerance = arg(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--hard-tolerance" => hard_tolerance = arg(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--noise-floor-s" => noise_floor = arg(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let current_dir = current_dir.unwrap_or_else(|| usage());
+
+    let current = match read_current(&current_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[perf-gate] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = write_path {
+        if let Err(e) = write_baseline(&path, &current) {
+            eprintln!("[perf-gate] cannot write baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[perf-gate] wrote baseline with {} metrics to {}", current.len(), path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = baseline_path.unwrap_or_else(|| usage());
+    let baseline = match read_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[perf-gate] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut skipped = 0usize;
+    let mut warm_ratios: Vec<f64> = Vec::new();
+    println!(
+        "[perf-gate] {} baseline metrics vs {} current (systemic tolerance {:.0}%, hard \
+         tolerance {:.0}%, noise floor {:.0}µs)",
+        baseline.len(),
+        current.len(),
+        tolerance * 100.0,
+        hard_tolerance * 100.0,
+        noise_floor * 1e6
+    );
+    for b in &baseline {
+        let Some(c) = find(&current, &b.experiment, &b.name) else {
+            println!("  FAIL {}/{}: missing from current run", b.experiment, b.name);
+            failures += 1;
+            continue;
+        };
+        if is_warm_timing(b) {
+            if b.value < noise_floor {
+                skipped += 1;
+                continue;
+            }
+            // Normalize by each run's own machine-speed anchor when both
+            // carry one; raw seconds otherwise.
+            let b_anchor = find(&baseline, &b.experiment, "anchor_s").map(|a| a.value);
+            let c_anchor = find(&current, &b.experiment, "anchor_s").map(|a| a.value);
+            let (bv, cv, how) = match (b_anchor, c_anchor) {
+                (Some(ba), Some(ca)) if ba > 0.0 && ca > 0.0 => {
+                    (b.value / ba, c.value / ca, "normalized")
+                }
+                _ => (b.value, c.value, "raw"),
+            };
+            let ratio = cv / bv.max(1e-300);
+            warm_ratios.push(ratio);
+            if ratio > 1.0 + hard_tolerance {
+                println!(
+                    "  FAIL {}/{}: {how} {cv:.4} vs baseline {bv:.4} ({ratio:.2}x > hard \
+                     tolerance)",
+                    b.experiment, b.name
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "  ok   {}/{}: {how} {cv:.4} vs baseline {bv:.4} ({ratio:.2}x)",
+                    b.experiment, b.name
+                );
+            }
+        } else {
+            // Quality metrics and anchors: shown, never gated here — the
+            // deterministic quality bars live in tests/calibration.rs.
+            println!(
+                "  info {}/{}: {:.6} (baseline {:.6})",
+                b.experiment, b.name, c.value, b.value
+            );
+        }
+    }
+    for c in &current {
+        if find(&baseline, &c.experiment, &c.name).is_none() {
+            println!(
+                "  new  {}/{} = {:.6} (not in baseline; refresh to gate it)",
+                c.experiment, c.name, c.value
+            );
+        }
+    }
+    // Systemic check: a real regression shifts the whole distribution of
+    // warm-path ratios; single-metric spikes on shared runners do not.
+    warm_ratios.sort_by(f64::total_cmp);
+    let median_ratio =
+        if warm_ratios.is_empty() { 1.0 } else { warm_ratios[warm_ratios.len() / 2] };
+    if median_ratio > 1.0 + tolerance {
+        println!(
+            "  FAIL systemic: median warm-path ratio {median_ratio:.3}x exceeds 1 + {:.0}%",
+            tolerance * 100.0
+        );
+        failures += 1;
+    }
+    println!(
+        "[perf-gate] {} warm metrics gated (median ratio {median_ratio:.3}x), {skipped} under \
+         noise floor, {failures} failure(s)",
+        warm_ratios.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

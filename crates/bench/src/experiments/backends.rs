@@ -23,8 +23,8 @@
 //!    version of the planner experiment's demotion story: selection is
 //!    driven by measurement, not by trusting the model.
 
-use crate::report::{Report, Table};
-use crate::runner::{time_median, RunConfig};
+use crate::report::{Direction, Report, Table};
+use crate::runner::{anchor_seconds, time_median, RunConfig};
 use cw_engine::{
     BackendId, Engine, OperandKey, Plan, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY,
     MIN_OBSERVATIONS_TO_SWITCH,
@@ -123,6 +123,13 @@ pub fn run(cfg: &RunConfig) -> Report {
             (BackendId::TiledCpu, tiled_s)
         };
         fastest_candidate.push(best);
+        for (id, s) in MEASURED.iter().zip(&seconds) {
+            rep.add_metric(
+                format!("warm_per_call_s/{}/{}", d.name, id.name()),
+                *s,
+                Direction::LowerIsBetter,
+            );
+        }
         t.push_row(vec![
             d.name.to_string(),
             pipeline.describe(),
@@ -219,6 +226,7 @@ pub fn run(cfg: &RunConfig) -> Report {
         ]);
     }
     rep.add_table("recovery from an adversarial backend misprediction", t);
+    rep.add_metric("anchor_s", anchor_seconds(cfg.reps), Direction::LowerIsBetter);
     rep
 }
 

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod backends;
+pub mod calibrate;
 pub mod corpus;
 pub mod engine;
 pub mod fig10;

@@ -6,15 +6,22 @@
 //!   (Fig. 11).
 //! * [`runner`] — wall-clock timing (median-of-N with warmup) and the
 //!   shared per-dataset measurement pipeline.
-//! * [`report`] — markdown and CSV emission.
+//! * [`report`] — markdown, CSV, and machine-readable `BENCH_*.json`
+//!   emission (the perf trajectory the CI perf gate diffs).
 //! * [`experiments`] — one module per paper artifact: `fig2`, `fig3`,
 //!   `fig8`, `fig9`, `fig10`, `fig11`, `table2`, `table3`, `table4` — plus
 //!   `engine` (adaptive pipeline vs fixed, plan-cache amortization),
 //!   `planner` (static advisor vs cost model vs feedback-converged plan
-//!   selection), and `serving` (service offered-load sweep).
+//!   selection), `backends` (per-backend timings and feedback-driven
+//!   backend selection), `calibrate` (cost-model fitting: sweep →
+//!   [`cw_engine::Calibrator`] → held-out prediction error and
+//!   first-choice plan agreement), and `serving` (service offered-load
+//!   sweep).
 //!
 //! The `paper` binary (`cargo run -p cw-bench --release --bin paper`) drives
-//! them; criterion micro-benchmarks live under `benches/`.
+//! them; the `perf_gate` binary diffs emitted `BENCH_*.json` against
+//! `ci/bench_baseline.json` in CI (see `docs/ARCHITECTURE.md`, "The CI
+//! perf gate"); criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -70,13 +70,20 @@ impl BackendId {
     pub const ALL: [BackendId; 3] =
         [BackendId::ParallelCpu, BackendId::SerialReference, BackendId::TiledCpu];
 
-    /// Short human-readable name (stable across releases; used in reports).
+    /// Short human-readable name (stable across releases; used in reports
+    /// and as the backend key in serialized calibration profiles).
     pub fn name(&self) -> &'static str {
         match self {
             BackendId::ParallelCpu => "parallel-cpu",
             BackendId::SerialReference => "serial-reference",
             BackendId::TiledCpu => "tiled-cpu",
         }
+    }
+
+    /// Inverse of [`BackendId::name`]: resolves a stable name back to the
+    /// id (how [`crate::CalibrationProfile`] parsing maps JSON entries).
+    pub fn parse(name: &str) -> Option<BackendId> {
+        BackendId::ALL.iter().copied().find(|id| id.name() == name)
     }
 
     /// The capability descriptor of the *builtin* implementation of this

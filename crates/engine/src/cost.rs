@@ -52,6 +52,20 @@ pub const SWITCH_MARGIN: f64 = 0.25;
 /// plan cannot poison every other candidate's estimate.
 pub const CALIBRATION_CLAMP: (f64, f64) = (0.5, 2.0);
 
+/// Floor on [`PlanningPolicy::observation_half_life`]: below this, the
+/// continuously-observed incumbent's equilibrium evidence weight
+/// (`1 / (1 − 0.5^(1/half_life))`) would sink under
+/// [`MIN_OBSERVATIONS_TO_SWITCH`] and the feedback loop could never
+/// switch at all. Shorter requested half-lives are clamped up.
+pub const MIN_OBSERVATION_HALF_LIFE: u64 = 4;
+
+/// Observation weight below which a decayed candidate is priced as
+/// *untried* again (calibrated prediction + prep surcharge): its stale
+/// EWMA no longer counts as evidence, which is what lets a long-demoted
+/// plan re-promote after the workload drifts. Undecayed stores never hit
+/// this (any observed candidate has weight ≥ 1).
+pub const STALE_OBSERVATION_WEIGHT: f64 = 0.5;
+
 /// Caller-supplied planning knobs: how much reuse to amortize preprocessing
 /// over, an optional hard preprocessing budget, and whether the feedback
 /// loop may re-plan at runtime.
@@ -75,6 +89,16 @@ pub struct PlanningPolicy {
     /// timing noise (and debug-build distortion) dwarfs any real
     /// difference between plans — sub-floor "improvements" are noise.
     pub min_adapt_gain_seconds: f64,
+    /// Half-life (in per-operand recorded executions) of observation
+    /// evidence. `Some(h)`: every [`FeedbackStore::record`] on an operand
+    /// multiplies all its candidates' observation weights by
+    /// `0.5^(1/h)`, so a candidate not re-observed for a few half-lives
+    /// decays below [`STALE_OBSERVATION_WEIGHT`] and is priced from the
+    /// calibrated model again — matrices whose performance drifts between
+    /// submissions can re-promote plans demoted under the old regime.
+    /// `None` (the default): observations never decay, the pre-decay
+    /// behavior. Values below [`MIN_OBSERVATION_HALF_LIFE`] are clamped up.
+    pub observation_half_life: Option<u64>,
 }
 
 impl Default for PlanningPolicy {
@@ -84,6 +108,7 @@ impl Default for PlanningPolicy {
             prep_budget_seconds: None,
             adapt: true,
             min_adapt_gain_seconds: 1e-3,
+            observation_half_life: None,
         }
     }
 }
@@ -315,17 +340,24 @@ impl CostModel {
     }
 }
 
-/// Exponentially weighted moving average with first-sample initialization.
+/// Exponentially weighted moving average with first-sample initialization
+/// and decayable evidence weight.
+///
+/// `value` is the smoothed observation; `weight` is how much *evidence*
+/// backs it. Without decay the weight equals the raw sample count; with
+/// [`Ewma::decay`] (the feedback store's half-life) it shrinks between
+/// observations, so stale evidence stops gating plan switches.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     value: f64,
     samples: u64,
+    weight: f64,
 }
 
 impl Ewma {
     /// Empty average (no samples yet).
     pub fn new() -> Ewma {
-        Ewma { value: 0.0, samples: 0 }
+        Ewma { value: 0.0, samples: 0, weight: 0.0 }
     }
 
     /// Folds in one observation (first observation sets the value).
@@ -333,6 +365,14 @@ impl Ewma {
         self.value =
             if self.samples == 0 { x } else { EWMA_ALPHA * x + (1.0 - EWMA_ALPHA) * self.value };
         self.samples += 1;
+        self.weight += 1.0;
+    }
+
+    /// Multiplies the evidence weight by `factor` (the half-life step);
+    /// the smoothed value is untouched — decay questions how much the
+    /// history should *count*, not what it said.
+    pub fn decay(&mut self, factor: f64) {
+        self.weight *= factor.clamp(0.0, 1.0);
     }
 
     /// Current smoothed value (`0` before any observation).
@@ -340,9 +380,15 @@ impl Ewma {
         self.value
     }
 
-    /// Observations folded in so far.
+    /// Observations folded in so far (raw count, never decays).
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Current evidence weight: equals [`Ewma::samples`] until the first
+    /// [`Ewma::decay`], then shrinks between observations.
+    pub fn weight(&self) -> f64 {
+        self.weight
     }
 }
 
@@ -396,15 +442,21 @@ struct OperandFeedback {
 impl OperandFeedback {
     /// Effective per-multiply cost of candidate `i` for ranking purposes:
     ///
-    /// * with [`MIN_OBSERVATIONS_TO_SWITCH`]+ samples — the observed EWMA
-    ///   (trusted outright);
-    /// * with fewer, nonzero samples — the *worse* of the observed EWMA
-    ///   and the calibrated prediction, so one anomalously fast sample
-    ///   (a warm-cache forced run, a CPU boost window) can never make an
-    ///   alternative look better than the model believes it is;
-    /// * untried — the calibrated prediction plus a prep surcharge
-    ///   (switching to an untried plan pays its preprocessing;
-    ///   already-tried plans are likely still cached).
+    /// * with [`MIN_OBSERVATIONS_TO_SWITCH`]+ evidence weight — the
+    ///   observed EWMA (trusted outright);
+    /// * with less (but non-stale) weight — the *worse* of the observed
+    ///   EWMA and the calibrated prediction, so one anomalously fast
+    ///   sample (a warm-cache forced run, a CPU boost window) can never
+    ///   make an alternative look better than the model believes it is;
+    /// * untried, or decayed below [`STALE_OBSERVATION_WEIGHT`] — the
+    ///   calibrated prediction plus a prep surcharge (switching to an
+    ///   untried plan pays its preprocessing; already-tried plans are
+    ///   likely still cached). Treating stale candidates as untried is
+    ///   what re-opens the door for plans demoted under a workload that
+    ///   has since drifted.
+    ///
+    /// Without decay the evidence weight *is* the sample count, so the
+    /// thresholds reduce to the original sample-count rules exactly.
     fn effective(&self, i: usize, policy: &PlanningPolicy) -> f64 {
         let c = &self.candidates[i];
         let calib = if self.calibration.samples() == 0 {
@@ -413,10 +465,13 @@ impl OperandFeedback {
             self.calibration.value().clamp(CALIBRATION_CLAMP.0, CALIBRATION_CLAMP.1)
         };
         let predicted = c.predicted.kernel_seconds * calib;
-        match c.observed_kernel.samples() {
-            0 => predicted + c.predicted.prep_seconds / policy.expected_reuse.max(1.0),
-            n if n < MIN_OBSERVATIONS_TO_SWITCH => c.observed_kernel.value().max(predicted),
-            _ => c.observed_kernel.value(),
+        let w = c.observed_kernel.weight();
+        if w < STALE_OBSERVATION_WEIGHT {
+            predicted + c.predicted.prep_seconds / policy.expected_reuse.max(1.0)
+        } else if w < MIN_OBSERVATIONS_TO_SWITCH as f64 {
+            c.observed_kernel.value().max(predicted)
+        } else {
+            c.observed_kernel.value()
         }
     }
 }
@@ -616,6 +671,17 @@ impl FeedbackStore {
         // ablation plans) carry no ranking signal for auto traffic;
         // ignore them rather than corrupt the candidate set.
         let executed = e.candidates.iter().position(|c| c.plan.knobs() == knobs)?;
+        // Half-life decay: every recorded execution ages *all* candidates'
+        // evidence, so plans that stop being observed gradually lose their
+        // gating power (a continuously observed candidate holds an
+        // equilibrium weight of 1/(1 − factor), well above the switch
+        // threshold).
+        if let Some(half_life) = policy.observation_half_life {
+            let factor = 0.5f64.powf(1.0 / half_life.max(MIN_OBSERVATION_HALF_LIFE) as f64);
+            for c in &mut e.candidates {
+                c.observed_kernel.decay(factor);
+            }
+        }
         e.candidates[executed].observed_kernel.observe(kernel_seconds);
         let predicted = e.candidates[executed].predicted.kernel_seconds;
         if predicted > 0.0 {
@@ -626,7 +692,7 @@ impl FeedbackStore {
         let incumbent_obs = &e.candidates[e.chosen].observed_kernel;
         if policy.adapt
             && executed == e.chosen
-            && incumbent_obs.samples() >= MIN_OBSERVATIONS_TO_SWITCH
+            && incumbent_obs.weight() >= MIN_OBSERVATIONS_TO_SWITCH as f64
         {
             let incumbent_cost = e.effective(e.chosen, policy);
             // The policy's preprocessing budget is a hard cap on switch
@@ -993,6 +1059,103 @@ mod tests {
             ..Plan::baseline()
         };
         assert!(store.record(key, alien.knobs(), 1.0, &policy).is_none());
+    }
+
+    #[test]
+    fn ewma_weight_tracks_samples_until_decayed() {
+        let mut e = Ewma::new();
+        e.observe(4.0);
+        e.observe(4.0);
+        assert_eq!(e.weight(), 2.0);
+        e.decay(0.5);
+        assert_eq!(e.weight(), 1.0);
+        assert_eq!(e.samples(), 2, "raw count never decays");
+        assert_eq!(e.value(), 4.0, "decay must not touch the smoothed value");
+        e.observe(4.0);
+        assert_eq!(e.weight(), 2.0, "fresh observations rebuild evidence");
+    }
+
+    #[test]
+    fn half_life_decay_re_promotes_after_drift() {
+        // Phase 1: the alternative is observed slow (a real measurement
+        // under the old workload), so the incumbent wins and the
+        // alternative's stale EWMA sits at 10s forever.
+        let key = OperandKey::of(&gen::grid::poisson2d(14, 14));
+        let chosen = Plan::baseline();
+        let alt = Plan {
+            clustering: ClusteringStrategy::Fixed(4),
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        };
+        let seed = |store: &mut FeedbackStore| {
+            store.seed(
+                key,
+                vec![
+                    (chosen, CostEstimate { prep_seconds: 0.0, kernel_seconds: 1.0 }),
+                    (alt, CostEstimate { prep_seconds: 0.0, kernel_seconds: 2.0 }),
+                ],
+            );
+        };
+        let run_drift = |policy: &PlanningPolicy| -> bool {
+            let mut store = FeedbackStore::new();
+            seed(&mut store);
+            for _ in 0..4 {
+                store.record(key, alt.knobs(), 10.0, policy).unwrap();
+            }
+            for _ in 0..4 {
+                assert!(!store.record(key, chosen.knobs(), 1.0, policy).unwrap().switched);
+            }
+            // Drift: the incumbent now runs 10× slower (structure changed
+            // between submissions). The alternative is never re-observed —
+            // only decay can make it eligible again.
+            let mut switched = false;
+            for _ in 0..64 {
+                switched |= store.record(key, chosen.knobs(), 10.0, policy).unwrap().switched;
+                if switched {
+                    break;
+                }
+            }
+            switched
+        };
+
+        let frozen_history = PlanningPolicy {
+            min_adapt_gain_seconds: 0.0,
+            observation_half_life: None,
+            ..PlanningPolicy::default()
+        };
+        assert!(
+            !run_drift(&frozen_history),
+            "without decay the stale 10s observation blocks re-promotion forever"
+        );
+
+        let decaying = PlanningPolicy {
+            observation_half_life: Some(MIN_OBSERVATION_HALF_LIFE),
+            ..frozen_history
+        };
+        assert!(
+            run_drift(&decaying),
+            "with decay the alternative's stale evidence fades and the model re-promotes it"
+        );
+    }
+
+    #[test]
+    fn continuous_observation_holds_switching_power_under_decay() {
+        // Decay must not starve the loop: an incumbent observed every
+        // round keeps an equilibrium weight above the switch threshold,
+        // so a genuinely slow incumbent is still demoted.
+        let key = OperandKey::of(&gen::grid::poisson2d(15, 15));
+        let (mut store, chosen, alt) = two_candidate_store(key, 1.0, 2.0);
+        let policy = PlanningPolicy {
+            min_adapt_gain_seconds: 0.0,
+            observation_half_life: Some(8),
+            ..PlanningPolicy::default()
+        };
+        let mut switched = false;
+        for _ in 0..10 {
+            switched |= store.record(key, chosen.knobs(), 10.0, &policy).unwrap().switched;
+        }
+        assert!(switched, "persistent misprediction must still demote under decay");
+        assert_eq!(store.chosen_plan(&key).unwrap().knobs(), alt.knobs());
     }
 
     #[test]

@@ -46,7 +46,18 @@
 //!    every execution: plans that underperform their prediction are
 //!    demoted, observed-fast plans (and backends) promoted, so repeated
 //!    traffic converges on the empirically fastest plan (`cw-service`
-//!    threads this loop through every shard).
+//!    threads this loop through every shard). Under
+//!    [`PlanningPolicy::observation_half_life`] the evidence decays, so
+//!    operands whose performance drifts between submissions re-promote.
+//!
+//! The [`calibrate`] module closes the same loop *offline*: a
+//! [`Calibrator`] fits the [`CostModel`]'s constants (and each backend's
+//! `kernel_scale`) from measured bench-corpus runs, and the resulting
+//! [`CalibrationProfile`] — versioned JSON, `profiles/default.json` at
+//! the workspace root — loads at construction via
+//! [`Planner::with_profile`] / [`Engine::with_profile`], so first-sight
+//! planning starts from this machine's measured constants instead of the
+//! hand-tuned defaults.
 //!
 //! ```
 //! use cw_engine::Engine;
@@ -73,6 +84,7 @@
 
 mod backend;
 mod cache;
+pub mod calibrate;
 mod cost;
 mod engine;
 mod plan;
@@ -85,10 +97,14 @@ pub use backend::{
     ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand, DEFAULT_TILE_COLS,
 };
 pub use cache::{CacheBound, CacheBudget, CacheKey, CacheStats, PlanCache};
+pub use calibrate::{
+    BackendCalibration, CalibrationProfile, CalibrationSample, Calibrator, ProfileParseError,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use cost::{
     CostEstimate, CostModel, Ewma, FeedbackStore, OperandFeatures, OperandKey, PlanFeedbackState,
     PlanningPolicy, CALIBRATION_CLAMP, DEFAULT_FEEDBACK_CAPACITY, EWMA_ALPHA,
-    MIN_OBSERVATIONS_TO_SWITCH, SWITCH_MARGIN,
+    MIN_OBSERVATIONS_TO_SWITCH, MIN_OBSERVATION_HALF_LIFE, STALE_OBSERVATION_WEIGHT, SWITCH_MARGIN,
 };
 pub use engine::{Engine, DEFAULT_CACHE_CAPACITY};
 pub use plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};

@@ -14,7 +14,8 @@
 //! outputs per Nagasaka et al.'s regime analysis; serial execution for
 //! matrices too small to amortize fork/join.
 
-use crate::backend::{BackendId, BackendRegistry};
+use crate::backend::{BackendCaps, BackendId, BackendRegistry};
+use crate::calibrate::CalibrationProfile;
 use crate::cost::{CostEstimate, CostModel, OperandFeatures, PlanningPolicy};
 use crate::plan::Plan;
 use cw_core::ClusterConfig;
@@ -65,6 +66,13 @@ pub struct Planner {
     /// cross-backend variants are generated — how a service shard (or an
     /// ablation) forces one execution strategy end to end.
     pub forced_backend: Option<BackendId>,
+    /// Optional fitted calibration ([`Planner::with_profile`]): its
+    /// per-backend kernel scales override each registered backend's
+    /// self-described [`BackendCaps::kernel_scale`] during pricing, so
+    /// cross-backend candidates are ranked by *measured* relative speed
+    /// instead of the backends' own priors. (Installing the profile also
+    /// replaces [`Planner::cost`] with the fitted constants.)
+    pub calibration: Option<CalibrationProfile>,
 }
 
 impl Default for Planner {
@@ -76,6 +84,7 @@ impl Default for Planner {
             cost: CostModel::default(),
             backends: BackendRegistry::builtin(),
             forced_backend: None,
+            calibration: None,
         }
     }
 }
@@ -96,6 +105,40 @@ impl Planner {
     /// cross-backend candidates are generated.
     pub fn with_backend(seed: u64, backend: BackendId) -> Planner {
         Planner { seed, forced_backend: Some(backend), ..Planner::default() }
+    }
+
+    /// Planner whose cost model starts *calibrated*: the fitted
+    /// [`CalibrationProfile`] (from a `paper calibrate` sweep, or loaded
+    /// via [`CalibrationProfile::load`]) replaces the hand-tuned
+    /// [`CostModel`] constants and supplies measured per-backend kernel
+    /// scales, so first-sight plan ranking reflects this machine instead
+    /// of the defaults' guesses.
+    ///
+    /// ```
+    /// use cw_engine::{CalibrationProfile, Planner};
+    ///
+    /// let profile = CalibrationProfile::default(); // or CalibrationProfile::load(path)?
+    /// let planner = Planner::with_profile(7, profile);
+    /// assert_eq!(planner.cost, planner.calibration.as_ref().unwrap().cost_model());
+    /// ```
+    pub fn with_profile(seed: u64, profile: CalibrationProfile) -> Planner {
+        Planner {
+            seed,
+            cost: profile.cost_model(),
+            calibration: Some(profile),
+            ..Planner::default()
+        }
+    }
+
+    /// The capability descriptor pricing uses for `id`: the registry's
+    /// self-description, with the calibration profile's fitted
+    /// `kernel_scale` substituted when one is installed.
+    pub fn backend_caps(&self, id: BackendId) -> BackendCaps {
+        let caps = self.backends.caps(id);
+        match &self.calibration {
+            Some(profile) => profile.apply_to_caps(caps),
+            None => caps,
+        }
     }
 
     /// The structural profile driving plan decisions (delegates to
@@ -137,7 +180,7 @@ impl Planner {
             if out.iter().any(|r: &RankedPlan| r.plan.knobs() == plan.knobs()) {
                 return;
             }
-            let caps = self.backends.caps(plan.backend);
+            let caps = self.backend_caps(plan.backend);
             let estimate = self.cost.estimate_with_caps(&features, &plan, affinity, &caps);
             out.push(RankedPlan { plan, estimate, affinity });
         };

@@ -4,7 +4,8 @@ use crate::request::{MultiplyRequest, SubmitError, Ticket};
 use crate::shard::{worker_loop, Batch, Completion, SlotGuard, Submission};
 use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};
 use cw_engine::{
-    BackendId, CacheBudget, Engine, PlanCache, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY,
+    BackendId, CacheBudget, CalibrationProfile, Engine, PlanCache, Planner, PlanningPolicy,
+    DEFAULT_CACHE_CAPACITY,
 };
 use cw_sparse::{fingerprint, MatrixFingerprint};
 use std::collections::HashMap;
@@ -15,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables for one [`SpgemmService`] instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker shards, each with a private engine + plan cache. Requests
     /// route to shards by lhs fingerprint, so shard count also bounds how
@@ -48,6 +49,12 @@ pub struct ServiceConfig {
     /// machines where one backend is known best); per-request forced plans
     /// still override it.
     pub backend: Option<BackendId>,
+    /// Optional fitted [`CalibrationProfile`] installed into every shard's
+    /// planner ([`Planner::with_profile`]): first-sight plan ranking then
+    /// uses this machine's measured cost constants and per-backend kernel
+    /// scales instead of the hand-tuned defaults. `None` = uncalibrated
+    /// planning (the per-shard feedback loop still corrects online).
+    pub profile: Option<CalibrationProfile>,
     /// Latency reservoir size for p50/p99 estimation.
     pub reservoir_capacity: usize,
 }
@@ -63,6 +70,7 @@ impl Default for ServiceConfig {
             seed: Planner::default().seed,
             policy: PlanningPolicy::default(),
             backend: None,
+            profile: None,
             reservoir_capacity: 1024,
         }
     }
@@ -148,10 +156,11 @@ impl SpgemmService {
             let (tx, rx) = mpsc::channel::<Batch>();
             let slot = Arc::new(Mutex::new(ShardStats { shard, ..ShardStats::default() }));
             let reservoir = Arc::new(Mutex::new(LatencyReservoir::new(config.reservoir_capacity)));
-            let planner = Planner {
-                forced_backend: config.backend,
-                ..Planner::with_policy(config.seed, config.policy)
+            let base = match config.profile.clone() {
+                Some(profile) => Planner::with_profile(config.seed, profile),
+                None => Planner::with_seed(config.seed),
             };
+            let planner = Planner { forced_backend: config.backend, policy: config.policy, ..base };
             let engine = Engine::with_cache(planner, PlanCache::with_budget(config.cache_budget));
             let completion = Completion { completed: Arc::clone(&completed) };
             let (slot_c, reservoir_c) = (Arc::clone(&slot), Arc::clone(&reservoir));

@@ -35,7 +35,13 @@
 //!   through the backend, reports per-stage timings, and feeds observed
 //!   kernel seconds into a per-operand `FeedbackStore` that demotes
 //!   mispredicted plans (and backends) so traffic converges on the
-//!   empirically fastest pipeline.
+//!   empirically fastest pipeline (with an optional evidence half-life so
+//!   drifted operands re-promote). The cost model's constants can also be
+//!   fitted *offline*: a `Calibrator` ingests measured bench-corpus runs
+//!   and emits a versioned `CalibrationProfile`
+//!   (`profiles/default.json`) that `Planner::with_profile`,
+//!   `Engine::with_profile`, and `ServiceConfig::profile` load at
+//!   construction so first-sight planning starts calibrated.
 //! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O,
 //!   synthetic matrix generators, structural statistics, and the matrix
 //!   fingerprints keying the engine's plan cache.
@@ -100,6 +106,28 @@
 //! assert!(c_oracle.numerically_eq(&c_first, 0.0));
 //! ```
 //!
+//! ## Quickstart: calibrated planning
+//!
+//! The planner's cost constants can be *fitted* for this machine from a
+//! bench-corpus sweep (`paper calibrate`) and loaded at construction, so
+//! first-sight planning is priced from measurements instead of the
+//! hand-tuned defaults (see `docs/ARCHITECTURE.md`, "Calibration"):
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//!
+//! // profiles/default.json is a checked-in fit; fall back to the
+//! // hand-tuned defaults when running from elsewhere.
+//! let profile = CalibrationProfile::load("profiles/default.json".as_ref())
+//!     .unwrap_or_default();
+//! let mut engine = Engine::new(Planner::with_profile(7, profile), 32);
+//!
+//! let a = clusterwise_spgemm::sparse::gen::grid::poisson2d(12, 12);
+//! let (c, report) = engine.multiply(&a, &a);
+//! assert_eq!(c.nrows, 144);
+//! assert!(report.timings.kernel_seconds > 0.0);
+//! ```
+//!
 //! ## Quickstart: the serving layer (concurrent traffic)
 //!
 //! Under concurrent traffic, put `SpgemmService` in front: it batches
@@ -140,9 +168,9 @@ pub mod prelude {
         ClusterConfig, Clustering, CsrCluster,
     };
     pub use cw_engine::{
-        BackendId, BackendRegistry, CacheBudget, ClusteringStrategy, CostModel, Engine,
-        ExecutionBackend, ExecutionReport, FeedbackStore, KernelChoice, Plan, PlanCache, Planner,
-        PlanningPolicy, PreparedMatrix,
+        BackendId, BackendRegistry, CacheBudget, CalibrationProfile, Calibrator,
+        ClusteringStrategy, CostModel, Engine, ExecutionBackend, ExecutionReport, FeedbackStore,
+        KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
     };
     pub use cw_reorder::Reordering;
     pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};
