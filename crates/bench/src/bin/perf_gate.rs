@@ -22,6 +22,12 @@
 //!   localized but unambiguous regression. Baseline entries faster than
 //!   the noise floor (default 100µs) are skipped — microsecond medians
 //!   are timer noise, not signal.
+//! * **Bounded metrics** — metrics named `bounded…` are gated
+//!   *absolutely*: the baseline entry's value is a pinned ceiling
+//!   (`direction: lower`) or floor (`direction: higher`), not a past
+//!   measurement to ratio against. Used for contract-style bars like the
+//!   obs tracing-overhead fraction (`bounded_obs_overhead_frac`), where
+//!   the acceptable value is a policy, not a machine speed.
 //! * **Quality metrics** (plan agreement, held-out error, speedups) are
 //!   informational in the gate; their hard bars are asserted
 //!   deterministically in `tests/calibration.rs`.
@@ -155,6 +161,12 @@ fn is_warm_timing(e: &Entry) -> bool {
     e.direction == Direction::LowerIsBetter && e.name.starts_with("warm")
 }
 
+/// Is this metric an absolute bound (the baseline value is a pinned
+/// ceiling/floor, gated without normalization)?
+fn is_bounded(e: &Entry) -> bool {
+    e.name.starts_with("bounded")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut current_dir: Option<PathBuf> = None;
@@ -226,7 +238,24 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
-        if is_warm_timing(b) {
+        if is_bounded(b) {
+            let ok = match b.direction {
+                Direction::LowerIsBetter => c.value <= b.value,
+                Direction::HigherIsBetter => c.value >= b.value,
+            };
+            if ok {
+                println!(
+                    "  ok   {}/{}: {:.6} within pinned bound {:.6}",
+                    b.experiment, b.name, c.value, b.value
+                );
+            } else {
+                println!(
+                    "  FAIL {}/{}: {:.6} violates pinned bound {:.6}",
+                    b.experiment, b.name, c.value, b.value
+                );
+                failures += 1;
+            }
+        } else if is_warm_timing(b) {
             if b.value < noise_floor {
                 skipped += 1;
                 continue;

@@ -29,7 +29,9 @@ use cw_engine::{
     BackendId, Engine, OperandKey, Plan, Planner, PlanningPolicy, DEFAULT_CACHE_CAPACITY,
     MIN_OBSERVATIONS_TO_SWITCH,
 };
+use cw_obs::{export, MetricsRegistry, Tracer};
 use cw_sparse::CsrMatrix;
+use std::sync::Arc;
 
 /// Auto multiplies served after the ablation sweep so the feedback loop
 /// has enough incumbent observations to evaluate (and make) a switch.
@@ -227,6 +229,37 @@ pub fn run(cfg: &RunConfig) -> Report {
     }
     rep.add_table("recovery from an adversarial backend misprediction", t);
     rep.add_metric("anchor_s", anchor_seconds(cfg.reps), Direction::LowerIsBetter);
+
+    // --- Trace artifact: one traced multiply per backend ---
+    // A separate engine (the timing tables above stay untraced), with the
+    // engine's plan/prepare/execute/postprocess spans and per-backend
+    // kernel histograms exported as versioned JSON-lines.
+    if let Some(d) = datasets.first() {
+        let a = d.build(cfg.scale);
+        let tracer = Arc::new(Tracer::new(MEASURED.len()));
+        tracer.set_enabled(true);
+        let registry = MetricsRegistry::new();
+        let mut engine = Engine::new(
+            Planner::with_policy(cfg.seed, PlanningPolicy::frozen()),
+            DEFAULT_CACHE_CAPACITY,
+        );
+        engine.set_tracer(Arc::clone(&tracer));
+        engine.cache().bind_metrics(&registry, "cache.");
+        let pipeline = engine.planner().plan(&a);
+        for (i, id) in MEASURED.iter().enumerate() {
+            tracer.begin_trace(i as u64);
+            let start = tracer.now_ns();
+            let (_, r) = engine.multiply_planned(&a, &a, pipeline.on_backend(*id));
+            registry
+                .histogram(&format!("kernel_seconds.{}", id.name()))
+                .record(r.timings.kernel_seconds);
+            tracer.end_trace(i as u64, "request", start);
+        }
+        rep.attachments.push((
+            "OBS_backends.jsonl".to_string(),
+            export::export_jsonl(&tracer.flight_traces(), &registry.snapshot()),
+        ));
+    }
     rep
 }
 
@@ -287,6 +320,15 @@ mod tests {
                 row[2],
                 row[4]
             );
+        }
+
+        // One traced request per measured backend in the obs artifact.
+        let (_, jsonl) =
+            rep.attachments.iter().find(|(n, _)| n == "OBS_backends.jsonl").expect("obs artifact");
+        let traces = jsonl.lines().filter(|l| l.contains("\"kind\":\"trace\"")).count();
+        assert_eq!(traces, MEASURED.len());
+        for id in MEASURED {
+            assert!(jsonl.contains(&format!("kernel_seconds.{}", id.name())));
         }
     }
 }

@@ -11,8 +11,8 @@
 //! cores fed with balanced batches (Nagasaka et al.); the shard sweep
 //! shows how far fingerprint-sharding gets toward that.
 
-use crate::report::{Report, Table};
-use crate::runner::RunConfig;
+use crate::report::{Direction, Report, Table};
+use crate::runner::{anchor_seconds, RunConfig};
 use cw_service::{MultiplyRequest, ServiceConfig, SpgemmService};
 use cw_sparse::CsrMatrix;
 use std::sync::Arc;
@@ -24,6 +24,41 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const WINDOWS_MS: [u64; 2] = [0, 2];
 /// Right-hand sides served per matrix per rep.
 const RHS_PER_MATRIX: usize = 8;
+/// Alternating traced/untraced rounds in the obs-overhead probe.
+const OVERHEAD_ROUNDS: usize = 3;
+/// Warm requests measured per overhead round.
+const OVERHEAD_REQUESTS: usize = 64;
+
+/// Warm p50 request latency through a fresh service (window 0, caches
+/// pre-warmed so every measured request is a hit), plus — for traced runs
+/// — the JSON-lines obs export. Used by the obs-overhead probe below.
+fn warm_round(mats: &[Arc<CsrMatrix>], seed: u64, tracing: bool) -> (f64, String) {
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 2,
+        batch_window: Duration::ZERO,
+        queue_capacity: OVERHEAD_REQUESTS * 2 + 64,
+        seed,
+        tracing,
+        ..ServiceConfig::default()
+    });
+    for a in mats {
+        let t = service.submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a))).unwrap();
+        let _ = t.wait();
+    }
+    let mut latencies = Vec::with_capacity(OVERHEAD_REQUESTS);
+    for i in 0..OVERHEAD_REQUESTS {
+        let a = &mats[i % mats.len()];
+        let t = service.submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a))).unwrap();
+        if let Ok(resp) = t.wait() {
+            latencies.push(resp.report.latency_seconds);
+        }
+    }
+    service.shutdown();
+    latencies.sort_by(f64::total_cmp);
+    let p50 = latencies.get(latencies.len() / 2).copied().unwrap_or(f64::NAN);
+    let jsonl = if tracing { service.export_jsonl() } else { String::new() };
+    (p50, jsonl)
+}
 
 /// Runs the serving experiment.
 pub fn run(cfg: &RunConfig) -> Report {
@@ -107,12 +142,47 @@ pub fn run(cfg: &RunConfig) -> Report {
         }
     }
     rep.add_table("offered-load sweep", t);
+
+    // --- Obs-overhead probe: tracing must be (nearly) free ---
+    // Alternating traced/untraced rounds on a warm window-0 service; the
+    // min-of-round-medians is robust to scheduler spikes on shared CI
+    // runners. The fraction is gated absolutely by the perf gate's
+    // `bounded_` contract (ceiling pinned in ci/bench_baseline.json).
+    let mut p50_off = f64::INFINITY;
+    let mut p50_on = f64::INFINITY;
+    let mut trace_jsonl = String::new();
+    for round in 0..OVERHEAD_ROUNDS {
+        let (off, _) = warm_round(&mats, cfg.seed, false);
+        let (on, jsonl) = warm_round(&mats, cfg.seed.wrapping_add(round as u64), true);
+        p50_off = p50_off.min(off);
+        p50_on = p50_on.min(on);
+        trace_jsonl = jsonl;
+    }
+    let overhead_frac = ((p50_on - p50_off) / p50_off.max(1e-12)).max(0.0);
+    rep.note(format!(
+        "obs overhead probe: warm p50 {:.1}µs untraced vs {:.1}µs traced over {} alternating \
+         rounds of {} requests → overhead fraction {:.4} (perf-gated ceiling: see \
+         bounded_obs_overhead_frac in ci/bench_baseline.json).",
+        p50_off * 1e6,
+        p50_on * 1e6,
+        OVERHEAD_ROUNDS,
+        OVERHEAD_REQUESTS,
+        overhead_frac,
+    ));
+    rep.add_metric("bounded_obs_overhead_frac", overhead_frac, Direction::LowerIsBetter);
+    rep.add_metric("obs_p50_untraced_s", p50_off, Direction::LowerIsBetter);
+    rep.add_metric("obs_p50_traced_s", p50_on, Direction::LowerIsBetter);
+    rep.add_metric("anchor_s", anchor_seconds(cfg.reps), Direction::LowerIsBetter);
+    // The last traced round's flight recorder + metrics, as a versioned
+    // JSON-lines artifact (uploaded by the CI serving-smoke job).
+    rep.attachments.push(("OBS_serving.jsonl".to_string(), trace_jsonl));
     rep
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cw_engine::calibrate::json::{self, JsonValue};
 
     #[test]
     fn serving_experiment_serves_every_request() {
@@ -131,5 +201,46 @@ mod tests {
             let hit_rate: f64 = row[9].parse().unwrap();
             assert!(hit_rate > 0.5, "repeated operands must hit shard caches: {hit_rate}");
         }
+
+        // The obs-overhead probe gates the tracing tax.
+        let overhead = rep
+            .metrics
+            .iter()
+            .find(|m| m.name == "bounded_obs_overhead_frac")
+            .expect("overhead metric emitted");
+        assert!(overhead.value.is_finite() && overhead.value >= 0.0);
+
+        // The trace artifact is parseable, versioned JSON-lines where
+        // every request trace has exactly one root and nesting depths.
+        let (name, jsonl) =
+            rep.attachments.iter().find(|(n, _)| n == "OBS_serving.jsonl").expect("trace artifact");
+        assert_eq!(name, "OBS_serving.jsonl");
+        let lines: Vec<JsonValue> =
+            jsonl.lines().map(|l| json::parse(l).expect("each line parses")).collect();
+        assert!(lines.len() >= 3, "header + traces + metrics");
+        assert_eq!(lines[0].get("schema_version").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(lines[0].get("kind").and_then(JsonValue::as_str), Some("obs"));
+        let traces: Vec<&JsonValue> = lines
+            .iter()
+            .filter(|l| l.get("kind").and_then(JsonValue::as_str) == Some("trace"))
+            .collect();
+        assert!(!traces.is_empty(), "traced rounds must leave request traces");
+        for tr in traces {
+            let spans = tr.get("spans").and_then(JsonValue::as_array).expect("spans array");
+            let roots = spans
+                .iter()
+                .filter(|s| s.get("depth").and_then(JsonValue::as_f64) == Some(0.0))
+                .count();
+            assert_eq!(roots, 1, "exactly one root span per request trace");
+            for want in ["request", "queue", "serve", "execute"] {
+                assert!(
+                    spans.iter().any(|s| s.get("name").and_then(JsonValue::as_str) == Some(want)),
+                    "missing {want} span"
+                );
+            }
+        }
+        let last = lines.last().unwrap();
+        assert_eq!(last.get("kind").and_then(JsonValue::as_str), Some("metrics"));
+        assert!(last.get("histograms").is_some());
     }
 }

@@ -29,6 +29,7 @@
 
 use crate::plan::PlanKnobs;
 use crate::prepared::PreparedMatrix;
+use cw_obs::{Counter, MetricsRegistry};
 use cw_sparse::MatrixFingerprint;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -169,6 +170,55 @@ impl CacheStats {
     }
 }
 
+/// The live atomic counters behind a cache's [`CacheStats`].
+///
+/// Since the observability pass, the cache's bookkeeping *is* a set of
+/// shareable `cw_obs` counters rather than plain integers: cloning this
+/// struct clones `Arc` handles onto the same cells, so a metrics registry
+/// (via [`PlanCache::bind_metrics`]) and the legacy [`PlanCache::stats`]
+/// snapshot observe identical values by construction.
+#[derive(Debug, Clone, Default)]
+pub struct CacheCounters {
+    /// Verified hits (see [`CacheStats::hits`]).
+    pub hits: Arc<Counter>,
+    /// Misses, expired lookups included (see [`CacheStats::misses`]).
+    pub misses: Arc<Counter>,
+    /// Failed-verification collisions (see [`CacheStats::collisions`]).
+    pub collisions: Arc<Counter>,
+    /// Size-bound evictions (see [`CacheStats::evictions`]).
+    pub evictions: Arc<Counter>,
+    /// TTL expirations (see [`CacheStats::expirations`]).
+    pub expirations: Arc<Counter>,
+    /// Lifetime insertions (see [`CacheStats::insertions`]).
+    pub insertions: Arc<Counter>,
+}
+
+impl CacheCounters {
+    /// The current values as a plain [`CacheStats`] snapshot.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            collisions: self.collisions.get(),
+            evictions: self.evictions.get(),
+            expirations: self.expirations.get(),
+            insertions: self.insertions.get(),
+        }
+    }
+
+    /// Adopt these counters into `registry` under
+    /// `{prefix}hits`, `{prefix}misses`, `{prefix}collisions`,
+    /// `{prefix}evictions`, `{prefix}expirations`, `{prefix}insertions`.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}hits"), Arc::clone(&self.hits));
+        registry.bind_counter(&format!("{prefix}misses"), Arc::clone(&self.misses));
+        registry.bind_counter(&format!("{prefix}collisions"), Arc::clone(&self.collisions));
+        registry.bind_counter(&format!("{prefix}evictions"), Arc::clone(&self.evictions));
+        registry.bind_counter(&format!("{prefix}expirations"), Arc::clone(&self.expirations));
+        registry.bind_counter(&format!("{prefix}insertions"), Arc::clone(&self.insertions));
+    }
+}
+
 /// One resident cache entry: the operand, its LRU recency tick, its byte
 /// footprint (frozen at insert time), and its insertion instant (TTL).
 #[derive(Debug)]
@@ -204,7 +254,7 @@ pub struct PlanCache {
     tick: u64,
     bytes_used: usize,
     entries: HashMap<CacheKey, CacheEntry>,
-    stats: CacheStats,
+    counters: CacheCounters,
 }
 
 impl PlanCache {
@@ -221,7 +271,7 @@ impl PlanCache {
             tick: 0,
             bytes_used: 0,
             entries: HashMap::new(),
-            stats: CacheStats::default(),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -257,9 +307,24 @@ impl PlanCache {
         self.bytes_used
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters, snapshotted.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.counters.snapshot()
+    }
+
+    /// The live atomic counters behind [`PlanCache::stats`]. Clone them to
+    /// observe this cache from another thread, or bind them into a
+    /// [`MetricsRegistry`] (see [`PlanCache::bind_metrics`]).
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
+    /// Adopt this cache's counters into `registry` under `prefix` (e.g.
+    /// `"cache."` yields `cache.hits`, `cache.misses`, …). The legacy
+    /// [`PlanCache::stats`] accessor and the registry then read the same
+    /// atomic cells.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        self.counters.bind_metrics(registry, prefix);
     }
 
     /// True when `entry` has outlived the budget's TTL.
@@ -275,7 +340,7 @@ impl PlanCache {
         let expired = match self.entries.get_mut(key) {
             Some(entry) if self.budget.ttl.is_none_or(|ttl| entry.inserted_at.elapsed() < ttl) => {
                 entry.last_used = self.tick;
-                self.stats.hits += 1;
+                self.counters.hits.inc();
                 return Some(Arc::clone(&entry.prepared));
             }
             Some(_) => true,
@@ -284,9 +349,9 @@ impl PlanCache {
         if expired {
             let stale = self.entries.remove(key).expect("expired entry is resident");
             self.bytes_used -= stale.bytes;
-            self.stats.expirations += 1;
+            self.counters.expirations.inc();
         }
-        self.stats.misses += 1;
+        self.counters.misses.inc();
         None
     }
 
@@ -302,7 +367,7 @@ impl PlanCache {
         for key in &stale {
             let entry = self.entries.remove(key).expect("listed entry is resident");
             self.bytes_used -= entry.bytes;
-            self.stats.expirations += 1;
+            self.counters.expirations.inc();
         }
         stale.len()
     }
@@ -335,9 +400,9 @@ impl PlanCache {
                 .expect("over budget implies at least one resident entry");
             let evicted = self.entries.remove(&victim).unwrap();
             self.bytes_used -= evicted.bytes;
-            self.stats.evictions += 1;
+            self.counters.evictions.inc();
         }
-        self.stats.insertions += 1;
+        self.counters.insertions.inc();
         self.bytes_used += bytes;
         self.entries.insert(
             key,
@@ -369,9 +434,11 @@ impl PlanCache {
                 return (hit, true);
             }
             // Fingerprint collision: the cached operand is not this matrix.
-            self.stats.hits -= 1;
-            self.stats.misses += 1;
-            self.stats.collisions += 1;
+            // The hit recorded by `get` is reclassified, not merely
+            // supplemented — hence the one legitimate `Counter::sub` call.
+            self.counters.hits.sub(1);
+            self.counters.misses.inc();
+            self.counters.collisions.inc();
             if let Some(stale) = self.entries.remove(&key) {
                 self.bytes_used -= stale.bytes;
             }
@@ -586,6 +653,28 @@ mod tests {
         cache.insert(key, Arc::new(prepared_for(&a)));
         assert!(cache.is_empty());
         assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn bound_metrics_track_the_legacy_stats_exactly() {
+        let a = poisson2d(7, 7);
+        let key = auto_key(&a);
+        let mut cache = PlanCache::new(4);
+        let registry = MetricsRegistry::new();
+        cache.bind_metrics(&registry, "cache.");
+        let _ = cache.get(&key); // miss
+        cache.insert(key, Arc::new(prepared_for(&a)));
+        let _ = cache.get(&key); // hit
+        let stats = cache.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(stats.hits));
+        assert_eq!(snap.counter("cache.misses"), Some(stats.misses));
+        assert_eq!(snap.counter("cache.insertions"), Some(stats.insertions));
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        // Live handles, not copies: later traffic shows up in the registry
+        // without re-binding.
+        let _ = cache.get(&key);
+        assert_eq!(registry.snapshot().counter("cache.hits"), Some(2));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::plan::{Plan, PlanKnobs};
 use crate::planner::Planner;
 use crate::prepared::PreparedMatrix;
 use crate::report::{ExecutionReport, StageTimings};
+use cw_obs::Tracer;
 use cw_sparse::{checksum, fingerprint, CsrMatrix};
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +43,12 @@ pub struct Engine {
     planner: Planner,
     cache: PlanCache,
     feedback: FeedbackStore,
+    /// Optional span sink: when set (and enabled), every resolution and
+    /// execution retroactively records `plan`/`prepare`/`execute`/
+    /// `postprocess` spans built from the *same* measured durations the
+    /// [`ExecutionReport`] carries, so spans and reports reconcile
+    /// exactly. `None` (the default) costs nothing.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for Engine {
@@ -53,13 +60,31 @@ impl Default for Engine {
 impl Engine {
     /// Engine with an explicit planner and cache capacity.
     pub fn new(planner: Planner, cache_capacity: usize) -> Engine {
-        Engine { planner, cache: PlanCache::new(cache_capacity), feedback: FeedbackStore::new() }
+        Engine {
+            planner,
+            cache: PlanCache::new(cache_capacity),
+            feedback: FeedbackStore::new(),
+            tracer: None,
+        }
     }
 
     /// Engine over a caller-built cache — the hook service shards use to
     /// pick a [`crate::CacheBudget`] (e.g. byte-bounded) per shard.
     pub fn with_cache(planner: Planner, cache: PlanCache) -> Engine {
-        Engine { planner, cache, feedback: FeedbackStore::new() }
+        Engine { planner, cache, feedback: FeedbackStore::new(), tracer: None }
+    }
+
+    /// Attach a span sink: subsequent resolutions and executions record
+    /// retroactive `plan`/`prepare`/`execute`/`postprocess` spans into it
+    /// (see [`cw_obs::Tracer`]). Spans land in the caller's current
+    /// request trace when one is open, or in the tracer's ambient buffer.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span sink, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Engine whose planner starts from a fitted
@@ -193,6 +218,19 @@ impl Engine {
         cache_hit: bool,
     ) -> (CsrMatrix, ExecutionReport) {
         let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
+        if let Some(t) = self.tracer.as_deref() {
+            // Retroactive spans from the measured stage durations: the end
+            // of the postprocess span is "now", and the earlier boundaries
+            // are reconstructed backwards, so span durations equal the
+            // report's timings to nanosecond rounding.
+            if t.enabled() {
+                let end = t.now_ns();
+                let kernel_end = end.saturating_sub((postprocess_seconds * 1e9) as u64);
+                let kernel_start = kernel_end.saturating_sub((kernel_seconds * 1e9) as u64);
+                t.record_span("execute", kernel_start, kernel_end);
+                t.record_span("postprocess", kernel_end, end);
+            }
+        }
         let mut timings = prep_timings;
         timings.kernel_seconds = kernel_seconds;
         timings.postprocess_seconds = postprocess_seconds;
@@ -335,6 +373,19 @@ impl Engine {
                 ..StageTimings::default()
             }
         };
+        if let Some(t) = self.tracer.as_deref() {
+            // Retroactive plan/prepare spans from the timings this call
+            // actually paid — zero-length on cache hits, so every traced
+            // request still shows the full plan → prepare → execute chain.
+            if t.enabled() {
+                let end = t.now_ns();
+                let prep_ns = ((timings.reorder_seconds + timings.cluster_seconds) * 1e9) as u64;
+                let prep_start = end.saturating_sub(prep_ns);
+                let plan_start = prep_start.saturating_sub((timings.plan_seconds * 1e9) as u64);
+                t.record_span("plan", plan_start, prep_start);
+                t.record_span("prepare", prep_start, end);
+            }
+        }
         (prepared, timings, hit)
     }
 }
@@ -507,6 +558,60 @@ mod tests {
         let (_, rep) = engine.multiply(&a, &a);
         assert!(!rep.cache_hit);
         assert!(rep.timings.plan_seconds > 0.0, "first sighting after reset re-plans");
+    }
+
+    #[test]
+    fn tracer_spans_reconcile_with_report_timings() {
+        let a = gen::mesh::tri_mesh(10, 10, true, 2);
+        let tracer = Arc::new(cw_obs::Tracer::new(8));
+        tracer.set_enabled(true);
+        let mut engine = Engine::default();
+        engine.set_tracer(Arc::clone(&tracer));
+        assert!(engine.tracer().is_some());
+
+        tracer.begin_trace(1);
+        let (_, report) = engine.multiply(&a, &a);
+        tracer.end_trace(1, "request", 0);
+
+        let traces = tracer.flight_traces();
+        let tr = &traces[0];
+        assert!(tr.nests_correctly(), "engine spans must nest: {tr:?}");
+        for (name, expect) in [
+            ("plan", report.timings.plan_seconds),
+            ("prepare", report.timings.reorder_seconds + report.timings.cluster_seconds),
+            ("execute", report.timings.kernel_seconds),
+            ("postprocess", report.timings.postprocess_seconds),
+        ] {
+            let span = tr.span(name).unwrap_or_else(|| panic!("missing span {name}"));
+            let got = span.duration_seconds();
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "span {name} ({got}s) must reconcile with report ({expect}s)"
+            );
+        }
+
+        // A cache hit still emits the full chain, with plan/prepare
+        // (near-)zero-length.
+        tracer.begin_trace(2);
+        let (_, again) = engine.multiply(&a, &a);
+        tracer.end_trace(2, "request", 0);
+        assert!(again.cache_hit);
+        let tr = &tracer.flight_traces()[1];
+        assert!(tr.nests_correctly());
+        assert!(tr.span("plan").unwrap().duration_seconds() < 1e-6);
+        assert!(tr.span("prepare").unwrap().duration_ns() == 0);
+        assert!(tr.span("execute").unwrap().duration_ns() > 0);
+    }
+
+    #[test]
+    fn disabled_tracer_records_no_engine_spans() {
+        let a = gen::grid::poisson2d(8, 8);
+        let tracer = Arc::new(cw_obs::Tracer::new(8));
+        let mut engine = Engine::default();
+        engine.set_tracer(Arc::clone(&tracer));
+        let _ = engine.multiply(&a, &a);
+        assert!(tracer.ambient_spans().is_empty());
+        assert!(tracer.flight_traces().is_empty());
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub use backend::{
     materialize_cpu, BackendCaps, BackendId, BackendPayload, BackendRegistry, CpuOperand,
     ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand, DEFAULT_TILE_COLS,
 };
-pub use cache::{CacheBound, CacheBudget, CacheKey, CacheStats, PlanCache};
+pub use cache::{CacheBound, CacheBudget, CacheCounters, CacheKey, CacheStats, PlanCache};
 pub use calibrate::{
     BackendCalibration, CalibrationProfile, CalibrationSample, Calibrator, ProfileParseError,
     PROFILE_SCHEMA_VERSION,

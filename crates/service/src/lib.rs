@@ -37,7 +37,16 @@
 //!   calibration state, per-stage [`cw_engine::ExecutionReport`]
 //!   timings), and
 //!   [`SpgemmService::stats`] aggregates throughput, p50/p99 latency from
-//!   a streaming reservoir, and per-shard cache hit rates.
+//!   a streaming reservoir, and per-shard cache hit rates. Underneath,
+//!   every counter lives on the [`cw_obs`] substrate: the
+//!   [`SpgemmService::metrics`] registry exposes the same cells plus
+//!   always-on mergeable histograms (`latency_seconds`, `queue_seconds`,
+//!   `execute_seconds`, `batch_size`, `kernel_seconds.<backend>`), and
+//!   [`ServiceConfig::tracing`] turns each request into a structured
+//!   span trace (`request` → `queue`/`coalesce`/`dispatch`/`serve` →
+//!   `plan`/`prepare`/`execute`/`postprocess`) kept in a bounded flight
+//!   recorder ([`SpgemmService::dump_flight_recorder`],
+//!   [`SpgemmService::export_jsonl`]).
 //!
 //! Everything is `std::thread` + `std::sync::mpsc` — no async runtime, in
 //! keeping with the workspace's offline vendored-dependency discipline.

@@ -1,12 +1,13 @@
 //! The service: submission queue → batching dispatcher → worker shards.
 
 use crate::request::{MultiplyRequest, SubmitError, Ticket};
-use crate::shard::{worker_loop, Batch, Completion, SlotGuard, Submission};
-use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};
+use crate::shard::{worker_loop, Batch, ShardObs, SlotGuard, Submission, WorkerCtx};
+use crate::stats::{LatencyReservoir, LatencySummary, ServiceStats};
 use cw_engine::{
     BackendId, CacheBudget, CalibrationProfile, Engine, PlanCache, Planner, PlanningPolicy,
     DEFAULT_CACHE_CAPACITY,
 };
+use cw_obs::{export, Counter, FlightRecorder, MetricsRegistry, Tracer};
 use cw_sparse::{fingerprint, MatrixFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -57,6 +58,15 @@ pub struct ServiceConfig {
     pub profile: Option<CalibrationProfile>,
     /// Latency reservoir size for p50/p99 estimation.
     pub reservoir_capacity: usize,
+    /// Start with structured span tracing enabled. Off (the default),
+    /// every span site in the hot path costs one atomic load; on, each
+    /// request becomes a [`cw_obs::RequestTrace`] in the flight recorder.
+    /// Toggle at runtime through [`SpgemmService::tracer`].
+    pub tracing: bool,
+    /// Flight-recorder capacity: how many recent request traces are kept
+    /// for [`SpgemmService::dump_flight_recorder`] /
+    /// [`SpgemmService::export_jsonl`].
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -72,15 +82,20 @@ impl Default for ServiceConfig {
             backend: None,
             profile: None,
             reservoir_capacity: 1024,
+            tracing: false,
+            flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
         }
     }
 }
 
-/// Lifetime request counters shared between the front door and workers.
+/// Lifetime request counters shared between the front door and workers —
+/// obs [`Counter`]s, so the same cells back both [`SpgemmService::stats`]
+/// and the service metrics registry.
+#[derive(Debug)]
 struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: Arc<AtomicU64>,
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
 }
 
 /// A threaded SpGEMM serving layer over [`cw_engine::Engine`].
@@ -117,21 +132,22 @@ pub struct SpgemmService {
     next_id: AtomicU64,
     in_flight: Arc<AtomicUsize>,
     counters: Counters,
-    shard_slots: Vec<Arc<Mutex<ShardStats>>>,
+    shard_obs: Vec<ShardObs>,
+    queue_depth: Arc<cw_obs::Gauge>,
     // One reservoir per shard: the owning worker's lock is uncontended on
     // the hot path (stats() readers aside); merged for service quantiles.
     reservoirs: Vec<Arc<Mutex<LatencyReservoir>>>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
     started: Instant,
 }
 
-impl std::fmt::Debug for Counters {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Counters")
-            .field("submitted", &self.submitted.load(Ordering::SeqCst))
-            .field("rejected", &self.rejected.load(Ordering::SeqCst))
-            .field("completed", &self.completed.load(Ordering::SeqCst))
-            .finish()
-    }
+/// Per-shard reservoir seed: the legacy constant xor'd with a
+/// golden-ratio-scrambled shard index. Shard 0 keeps the legacy seed
+/// (determinism pins stay valid); shards sampling the same stream no
+/// longer share one eviction pattern.
+fn shard_reservoir_seed(shard: usize) -> u64 {
+    0x5EED_1E55_C0FF_EE00 ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl SpgemmService {
@@ -145,33 +161,85 @@ impl SpgemmService {
         config.max_batch = config.max_batch.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
         let shards = config.shards;
-        let completed = Arc::new(AtomicU64::new(0));
         let in_flight = Arc::new(AtomicUsize::new(0));
 
+        let metrics = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(Tracer::new(config.flight_capacity));
+        tracer.set_enabled(config.tracing);
+        let counters = Counters {
+            submitted: metrics.counter("requests_submitted"),
+            rejected: metrics.counter("requests_rejected"),
+            completed: metrics.counter("requests_completed"),
+        };
+        let queue_depth = metrics.gauge("queue_depth");
+        // Service-wide histograms: shards share the same atomic buckets,
+        // which is exactly the registry's merge semantics applied eagerly.
+        let latency_seconds = metrics.histogram("latency_seconds");
+        let queue_seconds = metrics.histogram("queue_seconds");
+        let execute_seconds = metrics.histogram("execute_seconds");
+        let batch_size = metrics.histogram("batch_size");
+        let kernel_seconds: Vec<_> = BackendId::ALL
+            .iter()
+            .map(|b| metrics.histogram(&format!("kernel_seconds.{}", b.name())))
+            .collect();
+
         let mut shard_txs = Vec::with_capacity(shards);
-        let mut shard_slots = Vec::with_capacity(shards);
+        let mut shard_obs = Vec::with_capacity(shards);
         let mut reservoirs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = mpsc::channel::<Batch>();
-            let slot = Arc::new(Mutex::new(ShardStats { shard, ..ShardStats::default() }));
-            let reservoir = Arc::new(Mutex::new(LatencyReservoir::new(config.reservoir_capacity)));
+            let reservoir = Arc::new(Mutex::new(LatencyReservoir::with_seed(
+                config.reservoir_capacity,
+                shard_reservoir_seed(shard),
+            )));
             let base = match config.profile.clone() {
                 Some(profile) => Planner::with_profile(config.seed, profile),
                 None => Planner::with_seed(config.seed),
             };
             let planner = Planner { forced_backend: config.backend, policy: config.policy, ..base };
-            let engine = Engine::with_cache(planner, PlanCache::with_budget(config.cache_budget));
-            let completion = Completion { completed: Arc::clone(&completed) };
-            let (slot_c, reservoir_c) = (Arc::clone(&slot), Arc::clone(&reservoir));
+            let mut engine =
+                Engine::with_cache(planner, PlanCache::with_budget(config.cache_budget));
+            engine.set_tracer(Arc::clone(&tracer));
+            // Shard telemetry: obs cells registered under `shard{N}.*`,
+            // cloned into both the worker and the service's stats view.
+            let p = format!("shard{shard}.");
+            engine.cache().bind_metrics(&metrics, &format!("{p}cache."));
+            let obs = ShardObs {
+                shard,
+                batches: metrics.counter(&format!("{p}batches")),
+                coalesced_batches: metrics.counter(&format!("{p}coalesced_batches")),
+                requests: metrics.counter(&format!("{p}requests")),
+                reuse_hits: metrics.counter(&format!("{p}reuse_hits")),
+                replans: metrics.counter(&format!("{p}replans")),
+                max_batch_size: metrics.gauge(&format!("{p}max_batch_size")),
+                cached_operands: metrics.gauge(&format!("{p}cached_operands")),
+                cached_bytes: metrics.gauge(&format!("{p}cached_bytes")),
+                tracked_operands: metrics.gauge(&format!("{p}tracked_operands")),
+                cache: engine.cache().counters().clone(),
+            };
+            let ctx = WorkerCtx {
+                shard,
+                obs: obs.clone(),
+                reservoir: Arc::clone(&reservoir),
+                completed: Arc::clone(&counters.completed),
+                tracer: Arc::clone(&tracer),
+                latency_seconds: Arc::clone(&latency_seconds),
+                queue_seconds: Arc::clone(&queue_seconds),
+                execute_seconds: Arc::clone(&execute_seconds),
+                batch_size: Arc::clone(&batch_size),
+                kernel_seconds: kernel_seconds.clone(),
+                queue_depth: Arc::clone(&queue_depth),
+                in_flight: Arc::clone(&in_flight),
+            };
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cw-service-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, rx, engine, slot_c, reservoir_c, completion))
+                    .spawn(move || worker_loop(rx, engine, ctx))
                     .expect("spawn shard worker"),
             );
             shard_txs.push(tx);
-            shard_slots.push(slot);
+            shard_obs.push(obs);
             reservoirs.push(reservoir);
         }
 
@@ -189,13 +257,12 @@ impl SpgemmService {
             workers: Mutex::new(workers),
             next_id: AtomicU64::new(0),
             in_flight,
-            counters: Counters {
-                submitted: AtomicU64::new(0),
-                rejected: AtomicU64::new(0),
-                completed,
-            },
-            shard_slots,
+            counters,
+            shard_obs,
+            queue_depth,
             reservoirs,
+            metrics,
+            tracer,
             started: Instant::now(),
         }
     }
@@ -236,28 +303,35 @@ impl SpgemmService {
         let admitted = self
             .in_flight
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1));
-        if admitted.is_err() {
-            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
-            return Err(SubmitError::Full);
-        }
+        let depth = match admitted {
+            Ok(n) => n + 1,
+            Err(_) => {
+                self.counters.rejected.inc();
+                return Err(SubmitError::Full);
+            }
+        };
+        self.queue_depth.set(depth as i64);
         // From here the slot is owned by the guard: any path that drops
         // the submission unserved still releases it.
         let slot = SlotGuard(Arc::clone(&self.in_flight));
         // Counted at admission so `submitted >= completed` holds at every
         // instant a reader can observe (workers only see the request after
         // the send below).
-        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        self.counters.submitted.inc();
 
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let fp = fingerprint(&request.lhs);
         let (respond, rx) = mpsc::channel();
+        let now = Instant::now();
         let submission = Submission {
             id,
             lhs: request.lhs,
             rhs: request.rhs,
             plan: request.plan,
             fingerprint: fp,
-            submitted: Instant::now(),
+            submitted: now,
+            received: now,
+            flushed: now,
             respond,
             _slot: slot,
         };
@@ -265,35 +339,63 @@ impl SpgemmService {
             // Dispatcher is gone (tear-down raced this submit); the
             // dropped submission's SlotGuard returned the slot, and the
             // admission count is rolled back.
-            self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+            self.counters.submitted.sub(1);
             return Err(SubmitError::ShuttingDown);
         }
         Ok(Ticket { id, rx })
     }
 
     /// Point-in-time service statistics (callable any time, including
-    /// after shutdown).
+    /// after shutdown). A view over the same obs cells the metrics
+    /// registry exports — the two can never disagree.
     pub fn stats(&self) -> ServiceStats {
-        let completed = self.counters.completed.load(Ordering::SeqCst);
+        let completed = self.counters.completed.get();
         let elapsed = self.started.elapsed().as_secs_f64();
         let latency = {
             let guards: Vec<_> = self.reservoirs.iter().map(|r| r.lock().unwrap()).collect();
             LatencySummary::merged(guards.iter().map(|g| &**g))
         };
         ServiceStats {
-            submitted: self.counters.submitted.load(Ordering::SeqCst),
-            rejected: self.counters.rejected.load(Ordering::SeqCst),
+            submitted: self.counters.submitted.get(),
+            rejected: self.counters.rejected.get(),
             completed,
             elapsed_seconds: elapsed,
             throughput_rps: completed as f64 / elapsed.max(1e-9),
             latency,
-            shards: self.shard_slots.iter().map(|s| s.lock().unwrap().clone()).collect(),
+            shards: self.shard_obs.iter().map(ShardObs::snapshot).collect(),
         }
+    }
+
+    /// The service's span tracer: toggle recording at runtime
+    /// (`tracer().set_enabled(true)`) and read the flight recorder.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The service's metrics registry: counters, gauges, and mergeable
+    /// latency/queue/execute/batch-size/kernel histograms, all named (see
+    /// the crate docs for the taxonomy).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Human-readable dump of the flight recorder and metrics snapshot —
+    /// the post-incident view. Also printed to stderr if a shard worker
+    /// panics (observed at [`SpgemmService::shutdown`] join).
+    pub fn dump_flight_recorder(&self) -> String {
+        export::render_human(&self.tracer.flight_traces(), &self.metrics.snapshot())
+    }
+
+    /// The versioned JSON-lines export of recent request traces plus the
+    /// metrics snapshot (see [`cw_obs::export`] for the schema).
+    pub fn export_jsonl(&self) -> String {
+        export::export_jsonl(&self.tracer.flight_traces(), &self.metrics.snapshot())
     }
 
     /// Graceful shutdown: stops accepting work, flushes every pending
     /// batch, serves all in-flight requests, joins the threads, and
-    /// returns the final statistics. Idempotent.
+    /// returns the final statistics. Idempotent. A crashed worker dumps
+    /// the flight recorder to stderr for post-mortem.
     pub fn shutdown(&self) -> ServiceStats {
         // Dropping the submit sender wakes the dispatcher with
         // `Disconnected` once the queue drains; it flushes pending groups
@@ -303,7 +405,12 @@ impl SpgemmService {
             let _ = d.join();
         }
         for w in self.workers.lock().unwrap().drain(..) {
-            let _ = w.join();
+            if w.join().is_err() {
+                eprintln!(
+                    "cw-service: shard worker panicked; flight recorder dump:\n{}",
+                    self.dump_flight_recorder()
+                );
+            }
         }
         self.stats()
     }
@@ -327,7 +434,7 @@ fn dispatcher_loop(
     let mut pending: HashMap<MatrixFingerprint, Vec<Submission>> = HashMap::new();
     let mut deadline: Option<Instant> = None;
     loop {
-        let received = match deadline {
+        let mut received = match deadline {
             // Nothing pending: sleep until traffic or shutdown.
             None => match rx.recv() {
                 Ok(sub) => sub,
@@ -352,6 +459,10 @@ fn dispatcher_loop(
                 }
             }
         };
+        // Stamp when the dispatcher saw it: queue wait ends here, the
+        // coalescing-window wait begins (tracing's `queue`/`coalesce`
+        // span boundary).
+        received.received = Instant::now();
 
         let fp = received.fingerprint;
         let group = pending.entry(fp).or_default();
@@ -386,8 +497,12 @@ fn flush_all(
 /// Routes one same-fingerprint batch to its shard. A send failure means
 /// the worker is gone (tear-down); dropping the items disconnects their
 /// response channels, which tickets observe as [`crate::ServiceError`].
-fn send_batch(items: Vec<Submission>, shard_txs: &[Sender<Batch>]) {
+fn send_batch(mut items: Vec<Submission>, shard_txs: &[Sender<Batch>]) {
     debug_assert!(!items.is_empty());
+    let flushed = Instant::now();
+    for it in &mut items {
+        it.flushed = flushed;
+    }
     let shard = items[0].fingerprint.shard_index(shard_txs.len());
     let _ = shard_txs[shard].send(Batch { items });
 }
@@ -547,6 +662,124 @@ mod tests {
         // Shutdown is idempotent.
         let stats = service.shutdown();
         assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_records_nothing() {
+        let a = arc(gen::grid::poisson2d(8, 8));
+        let service = SpgemmService::new(ServiceConfig::default());
+        let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        t.wait().unwrap();
+        service.shutdown();
+        assert!(!service.tracer().enabled());
+        assert!(service.tracer().flight_traces().is_empty());
+        assert!(service.tracer().ambient_spans().is_empty());
+        // Metrics are always on regardless of tracing.
+        assert_eq!(service.metrics().snapshot().counter("requests_completed"), Some(1));
+    }
+
+    #[test]
+    fn traced_requests_nest_and_reconcile_with_reports() {
+        let a = arc(gen::grid::poisson2d(10, 10));
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            batch_window: Duration::ZERO,
+            tracing: true,
+            ..ServiceConfig::default()
+        });
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            let t = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+            reports.push(t.wait().unwrap().report);
+        }
+        service.shutdown();
+
+        let traces = service.tracer().flight_traces();
+        assert_eq!(traces.len(), 3);
+        for report in &reports {
+            let tr = traces
+                .iter()
+                .find(|t| t.trace_id == report.request_id)
+                .expect("every request leaves a trace");
+            assert!(tr.nests_correctly(), "spans must nest: {tr:?}");
+            for name in
+                ["request", "queue", "coalesce", "dispatch", "serve", "plan", "prepare", "execute"]
+            {
+                assert!(tr.span(name).is_some(), "missing span {name} in {tr:?}");
+            }
+            // The pre-execution spans tile the reported queue wait.
+            let waits: f64 = ["queue", "coalesce", "dispatch"]
+                .iter()
+                .map(|n| tr.span(n).unwrap().duration_seconds())
+                .sum();
+            assert!(
+                (waits - report.queue_seconds).abs() < 1e-5,
+                "queue+coalesce+dispatch ({waits}s) must reconcile with queue_seconds ({}s)",
+                report.queue_seconds
+            );
+            // The engine's kernel span reconciles with the report, and the
+            // serve span covers it.
+            let execute = tr.span("execute").unwrap();
+            let kernel = report.execution.timings.kernel_seconds;
+            assert!((execute.duration_seconds() - kernel).abs() < 1e-5);
+            let serve = tr.span("serve").unwrap();
+            assert!(serve.start_ns <= execute.start_ns && execute.end_ns <= serve.end_ns);
+            // The root closes after the latency measurement.
+            let root = tr.root().unwrap();
+            assert!(root.duration_seconds() + 1e-6 >= report.latency_seconds);
+        }
+        // Cache hits (requests 2 and 3) still show the full stage chain,
+        // with zero-length plan/prepare.
+        let hit = traces.iter().find(|t| t.trace_id == reports[1].request_id).unwrap();
+        assert_eq!(hit.span("prepare").unwrap().duration_ns(), 0);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_service_stats() {
+        let a = arc(gen::grid::poisson2d(12, 12));
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            batch_window: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter("requests_submitted"), Some(stats.submitted));
+        assert_eq!(snap.counter("requests_completed"), Some(stats.completed));
+        assert_eq!(snap.counter("shard0.coalesced_batches"), Some(stats.coalesced_batches()));
+        assert_eq!(
+            snap.counter("shard0.cache.misses"),
+            Some(stats.shards[0].cache.misses),
+            "registry and ShardStats are views over the same cells"
+        );
+        // ShardStats folds within-batch reuses into hits; the registry
+        // keeps the raw split.
+        assert_eq!(
+            snap.counter("shard0.cache.hits").unwrap() + snap.counter("shard0.reuse_hits").unwrap(),
+            stats.shards[0].cache.hits
+        );
+        assert_eq!(snap.gauge("shard0.max_batch_size"), Some(4));
+        let latency = snap.histogram("latency_seconds").expect("latency histogram");
+        assert_eq!(latency.count, stats.completed);
+        assert!(latency.quantile(0.5) > 0.0);
+        // Kernel time was recorded for the backend that actually served.
+        let kernels: u64 = BackendId::ALL
+            .iter()
+            .filter_map(|b| snap.histogram(&format!("kernel_seconds.{}", b.name())))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(kernels, stats.completed);
+        // The JSON-lines export is non-empty and versioned even without
+        // tracing (metrics line only).
+        assert!(service.export_jsonl().starts_with("{\"schema_version\":"));
+        assert!(service.dump_flight_recorder().contains("latency_seconds"));
     }
 
     #[test]

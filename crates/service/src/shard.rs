@@ -11,12 +11,23 @@
 //! same plan source reuse the head request's prepared operand directly,
 //! skipping even the engine's per-call fingerprint + `O(nnz)` checksum
 //! verification. That is the batching payoff: one lookup, many kernels.
+//!
+//! Shard telemetry lives on the service's [`cw_obs`] substrate: every
+//! counter a worker bumps is an `Arc`'d obs cell also bound into the
+//! service [`cw_obs::MetricsRegistry`], so [`crate::ServiceStats`] and the
+//! metrics snapshot are two views over the same atomics. When tracing is
+//! enabled each request becomes a [`cw_obs::RequestTrace`]: retroactive
+//! `queue`/`coalesce`/`dispatch` spans from the dispatcher's timestamps, a
+//! live `serve` span around the engine call (under which the engine records
+//! `plan`/`prepare`/`execute`/`postprocess`), and a `request` root closing
+//! the trace into the flight recorder.
 
 use crate::request::{MultiplyResponse, ServiceError, ServiceReport};
 use crate::stats::{LatencyReservoir, ShardStats};
-use cw_engine::{Engine, Plan, PlanKnobs, PreparedMatrix, StageTimings};
+use cw_engine::{BackendId, CacheCounters, Engine, Plan, PlanKnobs, PreparedMatrix, StageTimings};
+use cw_obs::{Counter, Gauge, LogHistogram, Tracer};
 use cw_sparse::{CsrMatrix, MatrixFingerprint};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -42,6 +53,13 @@ pub(crate) struct Submission {
     pub(crate) plan: Option<Plan>,
     pub(crate) fingerprint: MatrixFingerprint,
     pub(crate) submitted: Instant,
+    /// When the dispatcher pulled it off the submission queue (stamped by
+    /// the dispatcher; until then, equals `submitted`). The
+    /// `submitted..received` interval is the queue wait proper.
+    pub(crate) received: Instant,
+    /// When the dispatcher flushed its batch to a shard (stamped by
+    /// `send_batch`). `received..flushed` is the coalescing-window wait.
+    pub(crate) flushed: Instant,
     pub(crate) respond: Sender<Result<MultiplyResponse, ServiceError>>,
     /// Held only for its drop effect (releasing the queue slot).
     pub(crate) _slot: SlotGuard,
@@ -52,43 +70,115 @@ pub(crate) struct Batch {
     pub(crate) items: Vec<Submission>,
 }
 
-/// Shared completion counter (queue capacity itself is released by each
-/// submission's [`SlotGuard`], served or not).
-pub(crate) struct Completion {
-    pub(crate) completed: Arc<AtomicU64>,
+/// Per-shard obs cells: the shard's counters/gauges, each also registered
+/// under `shard{N}.*` in the service metrics registry. The worker thread
+/// owns the only writer; [`ShardObs::snapshot`] reconstructs the public
+/// [`ShardStats`] view on demand.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardObs {
+    pub(crate) shard: usize,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) coalesced_batches: Arc<Counter>,
+    pub(crate) requests: Arc<Counter>,
+    /// Within-batch operand reuses (bypass the engine cache entirely);
+    /// folded into the shard's cache-hit statistics on snapshot.
+    pub(crate) reuse_hits: Arc<Counter>,
+    pub(crate) replans: Arc<Counter>,
+    pub(crate) max_batch_size: Arc<Gauge>,
+    pub(crate) cached_operands: Arc<Gauge>,
+    pub(crate) cached_bytes: Arc<Gauge>,
+    pub(crate) tracked_operands: Arc<Gauge>,
+    /// Live handles on the shard engine's plan-cache counters.
+    pub(crate) cache: CacheCounters,
+}
+
+impl ShardObs {
+    /// The public [`ShardStats`] view over these cells. Hit/miss
+    /// semantics: "request served from an already-prepared operand" —
+    /// engine cache hits plus within-batch reuses.
+    pub(crate) fn snapshot(&self) -> ShardStats {
+        let mut cache = self.cache.snapshot();
+        cache.hits += self.reuse_hits.get();
+        ShardStats {
+            shard: self.shard,
+            batches: self.batches.get(),
+            coalesced_batches: self.coalesced_batches.get(),
+            requests: self.requests.get(),
+            max_batch_size: self.max_batch_size.get() as usize,
+            cache,
+            cached_operands: self.cached_operands.get() as usize,
+            cached_bytes: self.cached_bytes.get() as usize,
+            replans: self.replans.get(),
+            tracked_operands: self.tracked_operands.get() as usize,
+        }
+    }
+}
+
+/// Everything a worker thread needs beyond its engine and batch channel:
+/// the shard's obs cells, the service-wide histograms (shared atomics — the
+/// registry merges across shards for free), the tracer, and completion
+/// bookkeeping.
+pub(crate) struct WorkerCtx {
+    pub(crate) shard: usize,
+    pub(crate) obs: ShardObs,
+    pub(crate) reservoir: Arc<Mutex<LatencyReservoir>>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) tracer: Arc<Tracer>,
+    pub(crate) latency_seconds: Arc<LogHistogram>,
+    pub(crate) queue_seconds: Arc<LogHistogram>,
+    pub(crate) execute_seconds: Arc<LogHistogram>,
+    pub(crate) batch_size: Arc<LogHistogram>,
+    /// Kernel-seconds histograms, one per backend, indexed parallel to
+    /// [`BackendId::ALL`].
+    pub(crate) kernel_seconds: Vec<Arc<LogHistogram>>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) in_flight: Arc<AtomicUsize>,
+}
+
+/// Position of `id` in [`BackendId::ALL`] (the kernel-histogram index).
+pub(crate) fn backend_slot(id: BackendId) -> usize {
+    BackendId::ALL.iter().position(|b| *b == id).unwrap_or(0)
 }
 
 /// Drains batches until the dispatcher hangs up, then exits. Responses go
-/// straight to each request's private channel; per-batch counters and a
-/// cache snapshot land in `slot` so [`crate::SpgemmService::stats`] can
-/// read them without talking to the thread.
-pub(crate) fn worker_loop(
-    shard: usize,
-    rx: Receiver<Batch>,
-    mut engine: Engine,
-    slot: Arc<Mutex<ShardStats>>,
-    reservoir: Arc<Mutex<LatencyReservoir>>,
-    completion: Completion,
-) {
-    // Requests served from a batch-shared prepared operand, counted into
-    // the shard's hit statistics (they bypass the engine cache entirely).
-    let mut reuse_hits: u64 = 0;
-    // Feedback-loop plan switches observed on this shard.
-    let mut replans: u64 = 0;
+/// straight to each request's private channel; counters land in the
+/// shard's [`ShardObs`] cells so [`crate::SpgemmService::stats`] and the
+/// metrics registry can read them without talking to the thread.
+pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCtx) {
     while let Ok(batch) = rx.recv() {
         let batch_size = batch.items.len();
+        ctx.batch_size.record(batch_size as f64);
+        ctx.queue_depth.set(ctx.in_flight.load(Ordering::SeqCst) as i64);
         // Head request's resolved operand, reusable by identical followers.
         let mut head: Option<(Arc<CsrMatrix>, Option<PlanKnobs>, Arc<PreparedMatrix>)> = None;
         for sub in batch.items {
             let started = Instant::now();
             let queue_seconds = started.saturating_duration_since(sub.submitted).as_secs_f64();
+            ctx.tracer.begin_trace(sub.id);
+            if ctx.tracer.enabled() {
+                // Pre-execution waits, reconstructed from the dispatcher's
+                // stamps (monotone-clamped so the spans always tile).
+                let submitted_ns = ctx.tracer.ns_of(sub.submitted);
+                let received_ns = ctx.tracer.ns_of(sub.received).max(submitted_ns);
+                let flushed_ns = ctx.tracer.ns_of(sub.flushed).max(received_ns);
+                let started_ns = ctx.tracer.ns_of(started).max(flushed_ns);
+                ctx.tracer.record_span_at("queue", submitted_ns, received_ns, 1);
+                ctx.tracer.record_span_at("coalesce", received_ns, flushed_ns, 1);
+                ctx.tracer.record_span_at("dispatch", flushed_ns, started_ns, 1);
+            }
+            let serve_span = ctx.tracer.span("serve");
             let plan_knobs = sub.plan.map(|p| p.knobs());
             let reused = matches!(
                 &head,
                 Some((lhs0, knobs0, _)) if Arc::ptr_eq(lhs0, &sub.lhs) && *knobs0 == plan_knobs
             );
             let (prepared, prep_timings, cache_hit) = if reused {
-                reuse_hits += 1;
+                ctx.obs.reuse_hits.inc();
+                // A batch-reuse never enters the engine, so stand in for
+                // its plan/prepare spans (zero-length: no work was done).
+                let now = ctx.tracer.now_ns();
+                ctx.tracer.record_span("plan", now, now);
+                ctx.tracer.record_span("prepare", now, now);
                 let (_, _, prep) = head.as_ref().expect("reused implies head");
                 (Arc::clone(prep), StageTimings::default(), true)
             } else {
@@ -104,15 +194,21 @@ pub(crate) fn worker_loop(
             // plan for the shard's auto traffic).
             let (product, execution) =
                 engine.execute_prepared(&prepared, &sub.rhs, prep_timings, cache_hit);
+            drop(serve_span);
             if execution.feedback.is_some_and(|f| f.switched) {
-                replans += 1;
+                ctx.obs.replans.inc();
             }
             let execute_seconds = started.elapsed().as_secs_f64();
             let latency_seconds = sub.submitted.elapsed().as_secs_f64();
-            reservoir.lock().unwrap().record(latency_seconds);
+            ctx.queue_seconds.record(queue_seconds);
+            ctx.execute_seconds.record(execute_seconds);
+            ctx.latency_seconds.record(latency_seconds);
+            ctx.kernel_seconds[backend_slot(execution.backend)]
+                .record(execution.timings.kernel_seconds);
+            ctx.reservoir.lock().unwrap().record(latency_seconds);
             let report = ServiceReport {
                 request_id: sub.id,
-                shard,
+                shard: ctx.shard,
                 batch_size,
                 queue_seconds,
                 execute_seconds,
@@ -121,26 +217,25 @@ pub(crate) fn worker_loop(
                 backend: execution.backend,
                 execution,
             };
+            // Root span from submission to now: it closes *after* the
+            // latency measurement (so root duration ≥ reported latency)
+            // but *before* the response is sent, so a caller who has seen
+            // the response can already find the trace in the recorder.
+            ctx.tracer.end_trace(sub.id, "request", ctx.tracer.ns_of(sub.submitted));
+            ctx.completed.inc();
             // A dropped Ticket is fine: the response is simply discarded.
             let _ = sub.respond.send(Ok(MultiplyResponse { product, report }));
-            completion.completed.fetch_add(1, Ordering::SeqCst);
             // `sub` (and its SlotGuard) drops here, releasing the queue
             // slot only after the response is delivered.
         }
-        let mut s = slot.lock().unwrap();
-        s.batches += 1;
+        ctx.obs.batches.inc();
         if batch_size > 1 {
-            s.coalesced_batches += 1;
+            ctx.obs.coalesced_batches.inc();
         }
-        s.requests += batch_size as u64;
-        s.max_batch_size = s.max_batch_size.max(batch_size);
-        // Hit/miss semantics: "request served from an already-prepared
-        // operand" — engine cache hits plus within-batch reuses.
-        s.cache = engine.cache_stats();
-        s.cache.hits += reuse_hits;
-        s.cached_operands = engine.cached_operands();
-        s.cached_bytes = engine.cache().bytes();
-        s.replans = replans;
-        s.tracked_operands = engine.feedback().len();
+        ctx.obs.requests.add(batch_size as u64);
+        ctx.obs.max_batch_size.set_max(batch_size as i64);
+        ctx.obs.cached_operands.set(engine.cached_operands() as i64);
+        ctx.obs.cached_bytes.set(engine.cache().bytes() as i64);
+        ctx.obs.tracked_operands.set(engine.feedback().len() as i64);
     }
 }

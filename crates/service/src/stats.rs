@@ -20,12 +20,21 @@ pub struct LatencyReservoir {
 
 impl LatencyReservoir {
     /// Reservoir keeping at most `capacity` samples (`0` keeps none but
-    /// still counts observations).
+    /// still counts observations), with the default seed.
     pub fn new(capacity: usize) -> LatencyReservoir {
+        LatencyReservoir::with_seed(capacity, 0x5EED_1E55_C0FF_EE00)
+    }
+
+    /// Reservoir with an explicit RNG seed. Reservoirs that sample *the
+    /// same* stream must use *different* seeds or their eviction choices
+    /// correlate perfectly — the service derives one seed per shard (see
+    /// [`crate::SpgemmService`]) so the merged quantiles do not inherit a
+    /// shared eviction pattern.
+    pub fn with_seed(capacity: usize, seed: u64) -> LatencyReservoir {
         LatencyReservoir {
             capacity,
             seen: 0,
-            rng: SmallRng::seed_from_u64(0x5EED_1E55_C0FF_EE00),
+            rng: SmallRng::seed_from_u64(seed),
             samples: Vec::with_capacity(capacity.min(1024)),
         }
     }
@@ -262,6 +271,33 @@ mod tests {
             r.summary()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_reservoirs_on_the_same_stream() {
+        // `with_seed(_, default)` is exactly `new`.
+        let run = |seed| {
+            let mut r = LatencyReservoir::with_seed(32, seed);
+            for i in 0..5000 {
+                r.record(i as f64);
+            }
+            let mut s = r.samples().to_vec();
+            s.sort_by(f64::total_cmp);
+            s
+        };
+        assert_eq!(run(0x5EED_1E55_C0FF_EE00), {
+            let mut r = LatencyReservoir::new(32);
+            for i in 0..5000 {
+                r.record(i as f64);
+            }
+            let mut s = r.samples().to_vec();
+            s.sort_by(f64::total_cmp);
+            s
+        });
+        // Two reservoirs fed the identical overflowing stream must not make
+        // identical eviction choices — that was the correlated-sampling bug
+        // in the per-shard reservoirs (every shard ran the same RNG).
+        assert_ne!(run(1), run(2));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   locking), and answers every request with a `ServiceReport` (queue
 //!   wait, batch size, cache outcome, calibration state, per-stage
 //!   timings) plus service-wide throughput and p50/p99 latency stats.
+//! * [`obs`] — **the observability substrate**: dependency-free structured
+//!   tracing (thread-local span stacks, RAII guards, a disabled cost of
+//!   one atomic load), a mergeable metrics registry (counters, gauges,
+//!   log-bucketed latency histograms with p50/p99/p999), a bounded
+//!   flight recorder of recent request traces, and versioned JSON-lines /
+//!   human-readable exporters. The engine and service emit into it;
+//!   `ServiceReport` and `ServiceStats` are views over the same numbers.
 //! * [`engine`] — **the front door**: an adaptive
 //!   plan/prepare/execute/feed-back pipeline. A `Planner` profiles the
 //!   operand, prices every candidate pipeline (reordering × clustering ×
@@ -147,6 +154,44 @@
 //! let stats = service.shutdown();
 //! assert_eq!(stats.completed, 1);
 //! ```
+//!
+//! ## Quickstart: observability
+//!
+//! Flip `ServiceConfig::tracing` on and every request leaves a structured
+//! trace (queue → coalesce → dispatch → serve → plan/prepare/execute) in a
+//! bounded flight recorder, while counters and latency histograms
+//! accumulate in a metrics registry — exportable as versioned JSON-lines
+//! or a human-readable snapshot (see `examples/observability.rs` for the
+//! full tour):
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let a = Arc::new(clusterwise_spgemm::sparse::gen::grid::poisson2d(10, 10));
+//! let service = SpgemmService::new(ServiceConfig {
+//!     tracing: true,
+//!     ..ServiceConfig::default()
+//! });
+//! service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//!
+//! // One trace in the flight recorder, nesting correctly under one root.
+//! let traces = service.tracer().flight_traces();
+//! assert_eq!(traces.len(), 1);
+//! assert!(traces[0].nests_correctly());
+//! assert!(traces[0].span("execute").is_some());
+//!
+//! // Metrics mirror the service books; exporters snapshot both.
+//! let snapshot = service.metrics().snapshot();
+//! assert_eq!(snapshot.counter("requests_completed"), Some(1));
+//! let jsonl = service.export_jsonl();
+//! assert!(jsonl.starts_with("{\"schema_version\":"));
+//! assert!(service.dump_flight_recorder().contains("latency_seconds"));
+//! service.shutdown();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -155,6 +200,7 @@ pub use cw_cachesim as cachesim;
 pub use cw_core as core;
 pub use cw_datasets as datasets;
 pub use cw_engine as engine;
+pub use cw_obs as obs;
 pub use cw_partition as partition;
 pub use cw_reorder as reorder;
 pub use cw_service as service;
@@ -172,6 +218,7 @@ pub mod prelude {
         ClusteringStrategy, CostModel, Engine, ExecutionBackend, ExecutionReport, FeedbackStore,
         KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
     };
+    pub use cw_obs::{FlightRecorder, LogHistogram, MetricsRegistry, Tracer};
     pub use cw_reorder::Reordering;
     pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};
     pub use cw_sparse::{fingerprint, CooMatrix, CscMatrix, CsrMatrix, Permutation};
