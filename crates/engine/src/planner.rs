@@ -287,6 +287,9 @@ fn backend_rationale(id: BackendId) -> &'static str {
         BackendId::TiledCpu => {
             "column-tiled variant: cache-blocked execution the feedback loop can adopt"
         }
+        BackendId::AdaptiveCpu => {
+            "row-adaptive variant: per-row kernel zoo the feedback loop can adopt"
+        }
     }
 }
 
@@ -457,6 +460,10 @@ mod tests {
             "tiled variants must be in the candidate set for feedback to discover"
         );
         assert!(
+            ranked.iter().any(|r| r.plan.backend == BackendId::AdaptiveCpu),
+            "row-adaptive variants must be in the candidate set for feedback to discover"
+        );
+        assert!(
             ranked.iter().all(|r| r.plan.backend != BackendId::SerialReference),
             "the oracle must never be an auto-traffic candidate"
         );
@@ -473,8 +480,12 @@ mod tests {
             assert!(a.ncols <= crate::backend::DEFAULT_TILE_COLS);
             let ranked = planner.plans_costed(&a);
             assert!(
-                ranked.iter().all(|r| r.plan.backend == BackendId::ParallelCpu),
-                "narrow operands must plan only on the reference backend"
+                ranked.iter().all(|r| r.plan.backend != BackendId::TiledCpu),
+                "narrow operands must get no tiled candidates"
+            );
+            assert!(
+                ranked.iter().any(|r| r.plan.backend == BackendId::AdaptiveCpu),
+                "the row-adaptive variant has no tile geometry and stays offered"
             );
         }
         // A registry with a narrower tile re-enables the variants.

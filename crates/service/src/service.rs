@@ -67,6 +67,12 @@ pub struct ServiceConfig {
     /// for [`SpgemmService::dump_flight_recorder`] /
     /// [`SpgemmService::export_jsonl`].
     pub flight_capacity: usize,
+    /// Parallel-pool width for the shard workers' kernels. `None` (the
+    /// default) uses the process default (`RAYON_NUM_THREADS`, read once,
+    /// else the machine's parallelism). `Some(w)` pins every shard worker
+    /// to a `w`-wide pool via [`rayon::with_pool_width`] — deterministic
+    /// deployments, ablations, and in-process width tests.
+    pub pool_width: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +90,7 @@ impl Default for ServiceConfig {
             reservoir_capacity: 1024,
             tracing: false,
             flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
+            pool_width: None,
         }
     }
 }
@@ -140,6 +147,9 @@ pub struct SpgemmService {
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     started: Instant,
+    pool_tasks: Arc<Counter>,
+    pool_steals: Arc<Counter>,
+    pool_split_depth: Arc<cw_obs::Gauge>,
 }
 
 /// Per-shard reservoir seed: the legacy constant xor'd with a
@@ -182,6 +192,12 @@ impl SpgemmService {
             .iter()
             .map(|b| metrics.histogram(&format!("kernel_seconds.{}", b.name())))
             .collect();
+        // Parallel-pool telemetry (see `rayon::pool_stats`): registered up
+        // front so the names are present in every export, synced lazily on
+        // the read paths (`stats`/`metrics`/`export_jsonl`).
+        let pool_tasks = metrics.counter("pool.tasks");
+        let pool_steals = metrics.counter("pool.steals");
+        let pool_split_depth = metrics.gauge("pool.split_depth");
 
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_obs = Vec::with_capacity(shards);
@@ -232,10 +248,14 @@ impl SpgemmService {
                 queue_depth: Arc::clone(&queue_depth),
                 in_flight: Arc::clone(&in_flight),
             };
+            let pool_width = config.pool_width;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cw-service-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, engine, ctx))
+                    .spawn(move || match pool_width {
+                        Some(w) => rayon::with_pool_width(w, || worker_loop(rx, engine, ctx)),
+                        None => worker_loop(rx, engine, ctx),
+                    })
                     .expect("spawn shard worker"),
             );
             shard_txs.push(tx);
@@ -264,7 +284,24 @@ impl SpgemmService {
             metrics,
             tracer,
             started: Instant::now(),
+            pool_tasks,
+            pool_steals,
+            pool_split_depth,
         }
+    }
+
+    /// Folds the process-wide parallel-pool counters
+    /// ([`rayon::pool_stats`]) into the registry's stable names:
+    /// `pool.tasks` and `pool.steals` (monotone counters, delta-synced so
+    /// repeated reads never double-count) and `pool.split_depth` (a
+    /// high-water gauge of the deepest recursive split). The pool is
+    /// shared by every consumer in the process, so these are process
+    /// totals, not per-service attributions.
+    fn sync_pool_metrics(&self) {
+        let s = rayon::pool_stats();
+        self.pool_tasks.add(s.tasks.saturating_sub(self.pool_tasks.get()));
+        self.pool_steals.add(s.steals.saturating_sub(self.pool_steals.get()));
+        self.pool_split_depth.set_max(s.max_split_depth as i64);
     }
 
     /// The configuration this service was built with.
@@ -349,6 +386,7 @@ impl SpgemmService {
     /// after shutdown). A view over the same obs cells the metrics
     /// registry exports — the two can never disagree.
     pub fn stats(&self) -> ServiceStats {
+        self.sync_pool_metrics();
         let completed = self.counters.completed.get();
         let elapsed = self.started.elapsed().as_secs_f64();
         let latency = {
@@ -376,6 +414,7 @@ impl SpgemmService {
     /// latency/queue/execute/batch-size/kernel histograms, all named (see
     /// the crate docs for the taxonomy).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.sync_pool_metrics();
         &self.metrics
     }
 
@@ -383,12 +422,14 @@ impl SpgemmService {
     /// the post-incident view. Also printed to stderr if a shard worker
     /// panics (observed at [`SpgemmService::shutdown`] join).
     pub fn dump_flight_recorder(&self) -> String {
+        self.sync_pool_metrics();
         export::render_human(&self.tracer.flight_traces(), &self.metrics.snapshot())
     }
 
     /// The versioned JSON-lines export of recent request traces plus the
     /// metrics snapshot (see [`cw_obs::export`] for the schema).
     pub fn export_jsonl(&self) -> String {
+        self.sync_pool_metrics();
         export::export_jsonl(&self.tracer.flight_traces(), &self.metrics.snapshot())
     }
 
@@ -780,6 +821,46 @@ mod tests {
         // tracing (metrics line only).
         assert!(service.export_jsonl().starts_with("{\"schema_version\":"));
         assert!(service.dump_flight_recorder().contains("latency_seconds"));
+        // Parallel-pool telemetry is registered under its stable names and
+        // lands in the JSONL export. The cells mirror process-wide pool
+        // totals (shared across every test in this binary), so only
+        // presence — not magnitude — is pinned here.
+        assert!(snap.counter("pool.tasks").is_some());
+        assert!(snap.counter("pool.steals").is_some());
+        assert!(snap.gauge("pool.split_depth").is_some());
+        let jsonl = service.export_jsonl();
+        for name in ["pool.tasks", "pool.steals", "pool.split_depth"] {
+            assert!(jsonl.contains(name), "JSONL export missing {name}");
+        }
+    }
+
+    #[test]
+    fn pool_width_pin_is_bit_identical_across_widths() {
+        let a = arc(gen::er::erdos_renyi(140, 6, 5));
+        let products: Vec<_> = [Some(1), Some(2), None]
+            .into_iter()
+            .map(|pool_width| {
+                let service = SpgemmService::new(ServiceConfig {
+                    shards: 1,
+                    pool_width,
+                    ..ServiceConfig::default()
+                });
+                let t =
+                    service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+                let resp = t.wait().unwrap();
+                service.shutdown();
+                resp.product
+            })
+            .collect();
+        let serial = spgemm_serial(&a, &a);
+        for (i, p) in products.iter().enumerate() {
+            assert_eq!(p.row_ptr, serial.row_ptr, "width config #{i}");
+            assert_eq!(p.col_idx, serial.col_idx, "width config #{i}");
+            assert!(
+                p.vals.iter().zip(&serial.vals).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "width config #{i}: values must be bit-identical to the serial reference"
+            );
+        }
     }
 
     #[test]

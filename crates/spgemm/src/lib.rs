@@ -8,6 +8,9 @@
 //!   generation stamping, and a sort-merge accumulator, all behind one trait.
 //! * [`rowwise`] — serial and rayon-parallel two-phase (symbolic + numeric)
 //!   Gustavson SpGEMM over CSR.
+//! * [`adaptive`] — the per-row kernel zoo: sorted-array / hash / dense
+//!   accumulators selected per row from upper-bound FLOP estimates,
+//!   bit-identical to the serial reference.
 //! * [`flops`] — multiplication FLOP counts and the compression ratio
 //!   (`flops / nnz(C)`) that prior work uses to predict SpGEMM throughput.
 //! * [`topk`] — `SpGEMM_TopK(A, Aᵀ)`: the candidate-pair generation step of
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod accumulator;
+pub mod adaptive;
 pub mod colwise;
 pub mod flops;
 pub mod heap;
@@ -32,7 +36,9 @@ pub mod trace;
 
 pub use accumulator::{
     Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator, SortAccumulator,
+    SortedArrayAccumulator,
 };
+pub use adaptive::{spgemm_adaptive, spgemm_adaptive_with, AdaptiveOptions, AdaptiveThresholds};
 pub use colwise::spgemm_colwise;
 pub use heap::spgemm_heap;
 pub use pattern::spgemm_pattern;

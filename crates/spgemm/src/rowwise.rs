@@ -52,7 +52,10 @@ pub fn spgemm_with(a: &CsrMatrix, b: &CsrMatrix, opts: &SpGemmOptions) -> CsrMat
         "dimension mismatch: A is {}x{}, B is {}x{}",
         a.nrows, a.ncols, b.nrows, b.ncols
     );
-    if opts.parallel {
+    // At an effective width of 1 the two-phase parallel path would do the
+    // symbolic accumulation twice on one thread for nothing — fall through
+    // to the single-pass serial kernel (bit-identical output either way).
+    if opts.parallel && rayon::current_num_threads() > 1 {
         spgemm_parallel_impl(a, b, opts)
     } else {
         spgemm_serial_impl(a, b, opts)
@@ -60,8 +63,12 @@ pub fn spgemm_with(a: &CsrMatrix, b: &CsrMatrix, opts: &SpGemmOptions) -> CsrMat
 }
 
 /// Accumulates `A[i,:] · B` into `acc`.
+///
+/// Every kernel in the crate funnels through this loop, so partial
+/// products for one output entry always arrive in the same (ascending-k)
+/// order — the invariant that makes accumulator choice bit-transparent.
 #[inline]
-fn accumulate_row(a: &CsrMatrix, b: &CsrMatrix, i: usize, acc: &mut dyn Accumulator) {
+pub(crate) fn accumulate_row(a: &CsrMatrix, b: &CsrMatrix, i: usize, acc: &mut dyn Accumulator) {
     let (a_cols, a_vals) = a.row(i);
     for (&k, &av) in a_cols.iter().zip(a_vals) {
         let (b_cols, b_vals) = b.row(k as usize);

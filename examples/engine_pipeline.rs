@@ -16,10 +16,15 @@ use std::time::Instant;
 /// Walks the execution-backend seam: the same planned pipeline forced onto
 /// each registered backend, bit-identical outputs, different timings.
 fn backend_tour(engine: &mut Engine, a: &CsrMatrix) {
-    println!("=== execution backends: one pipeline, three strategies ===");
+    println!("=== execution backends: one pipeline, four strategies ===");
     let pipeline = engine.planner().plan(a);
     let mut oracle: Option<CsrMatrix> = None;
-    for id in [BackendId::SerialReference, BackendId::ParallelCpu, BackendId::TiledCpu] {
+    for id in [
+        BackendId::SerialReference,
+        BackendId::ParallelCpu,
+        BackendId::TiledCpu,
+        BackendId::AdaptiveCpu,
+    ] {
         // Forcing a backend is just a plan knob; each backend's
         // preparation caches under its own (fingerprint, knobs) key.
         let (c, rep) = engine.multiply_planned(a, a, pipeline.on_backend(id));
@@ -112,7 +117,7 @@ fn main() {
     println!("forced ClusterInPlace on the mesh: {}", rep.summary());
 
     // The same pipeline on every execution backend (serial oracle, rayon
-    // reference, column-tiled cache blocking).
+    // reference, column-tiled cache blocking, per-row adaptive kernel zoo).
     backend_tour(&mut engine, &blocks);
 
     let stats = engine.cache_stats();

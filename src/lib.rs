@@ -111,6 +111,13 @@
 //! let (c_oracle, oracle) = engine.multiply_planned(&a, &a, oracle_plan);
 //! assert_eq!(oracle.backend, BackendId::SerialReference);
 //! assert!(c_oracle.numerically_eq(&c_first, 0.0));
+//!
+//! // Or the per-row kernel zoo (sorted-array / hash / dense accumulator
+//! // chosen per output row from FLOP upper bounds) — still bit-identical.
+//! let zoo_plan = first.plan.on_backend(BackendId::AdaptiveCpu);
+//! let (c_zoo, zoo) = engine.multiply_planned(&a, &a, zoo_plan);
+//! assert_eq!(zoo.backend, BackendId::AdaptiveCpu);
+//! assert!(c_zoo.numerically_eq(&c_oracle, 0.0));
 //! ```
 //!
 //! ## Quickstart: calibrated planning

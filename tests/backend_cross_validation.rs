@@ -12,12 +12,14 @@
 //! floating-point noise.
 
 use clusterwise_spgemm::engine::{
-    BackendId, BackendRegistry, ClusteringStrategy, ExecutionBackend, KernelChoice, Plan, Planner,
-    PreparedMatrix, Suggestion, TiledCpu,
+    AdaptiveCpu, BackendId, BackendRegistry, ClusteringStrategy, ExecutionBackend, KernelChoice,
+    Plan, Planner, PreparedMatrix, Suggestion, TiledCpu,
 };
 use clusterwise_spgemm::prelude::*;
 use clusterwise_spgemm::sparse::gen;
 use clusterwise_spgemm::sparse::CooMatrix;
+use clusterwise_spgemm::spgemm::adaptive::AdaptiveThresholds;
+use clusterwise_spgemm::spgemm::flops::flops_per_row;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -142,7 +144,7 @@ fn engine_traffic_on_forced_backends_matches_the_oracle_engine() {
         clusterwise_spgemm::engine::DEFAULT_CACHE_CAPACITY,
     );
     let (oracle, _) = oracle_engine.multiply(&a, &a);
-    for id in [BackendId::ParallelCpu, BackendId::TiledCpu] {
+    for id in [BackendId::ParallelCpu, BackendId::TiledCpu, BackendId::AdaptiveCpu] {
         let mut engine = Engine::new(
             Planner::with_backend(SEED, id),
             clusterwise_spgemm::engine::DEFAULT_CACHE_CAPACITY,
@@ -153,6 +155,101 @@ fn engine_traffic_on_forced_backends_matches_the_oracle_engine() {
             assert!(
                 got.approx_eq(&oracle, 0.0),
                 "engine on {id:?} diverges from the oracle engine (round {round})"
+            );
+        }
+    }
+}
+
+/// Registries whose adaptive backend is pinned to the given thresholds
+/// (replacing the default-threshold builtin registration).
+fn adaptive_registry(thresholds: AdaptiveThresholds) -> BackendRegistry {
+    let mut reg = BackendRegistry::builtin();
+    reg.register(Arc::new(AdaptiveCpu::new(thresholds)));
+    reg
+}
+
+#[test]
+fn adaptive_kernel_boundary_rows_stay_bit_identical() {
+    // Pin the zoo's selection boundaries exactly onto real rows: for a
+    // skewed matrix, pick a mid-range per-row upper bound `p` and place
+    // the thresholds so some row sits exactly on each comparison's edge
+    // (`ub == small_flops` is inclusive-sorted, `ub == small_flops + 1`
+    // crosses out; `ub as f64 == dense_fraction · ncols` is
+    // inclusive-dense). Kernel choice must never change the bits.
+    let a = gen::rmat::rmat(7, 8, gen::rmat::RmatParams::default(), 21);
+    let ub = flops_per_row(&a, &a);
+    let mut nonzero: Vec<u64> = ub.iter().copied().filter(|&u| u > 0).collect();
+    nonzero.sort_unstable();
+    let p = nonzero[nonzero.len() / 2];
+    let ncols = a.ncols as f64;
+    let plan = Plan::baseline();
+    for (label, t) in [
+        (
+            "boundary row is the largest sorted-array row",
+            AdaptiveThresholds { small_flops: p, dense_fraction: 1.0 },
+        ),
+        (
+            "boundary row is the smallest non-sorted row",
+            AdaptiveThresholds { small_flops: p.saturating_sub(1), dense_fraction: 1.0 },
+        ),
+        (
+            "boundary row is the smallest dense row",
+            AdaptiveThresholds { small_flops: 0, dense_fraction: p as f64 / ncols },
+        ),
+        (
+            "boundary row is the largest hash row",
+            AdaptiveThresholds { small_flops: 0, dense_fraction: (p + 1) as f64 / ncols },
+        ),
+    ] {
+        let reg = adaptive_registry(t);
+        let oracle = product_on(&reg, BackendId::SerialReference, &a, &a, plan);
+        let got = product_on(&reg, BackendId::AdaptiveCpu, &a, &a, plan);
+        assert!(got.approx_eq(&oracle, 0.0), "{label} (thresholds {t:?}, pivot ub {p})");
+    }
+}
+
+#[test]
+fn adaptive_degenerate_rows_stay_bit_identical() {
+    // Degenerate structure in one operand: empty rows, singleton rows, a
+    // fully dense row, and duplicate COO entries (summed on conversion).
+    let n = 48;
+    let mut coo = CooMatrix::new(n, n);
+    // Row 0 stays empty; row 1 is a singleton; row 2 is fully dense.
+    coo.push(1, 7, 2.5);
+    for j in 0..n {
+        coo.push(2, j, (j as f64 - 11.0) * 0.25);
+    }
+    // A band plus duplicates elsewhere.
+    for i in 3..n {
+        for d in 0..=(i % 4) {
+            let j = (i + d * 5) % n;
+            coo.push(i, j, 0.1 * i as f64 - 0.3 * d as f64);
+            if d == 1 {
+                coo.push(i, j, 0.75); // duplicate entry, summed
+            }
+        }
+    }
+    let a = coo.to_csr();
+    for t in [
+        AdaptiveThresholds::default(),
+        AdaptiveThresholds { small_flops: 0, dense_fraction: 0.0 },
+        AdaptiveThresholds { small_flops: u64::MAX, dense_fraction: f64::INFINITY },
+    ] {
+        let reg = adaptive_registry(t);
+        for plan in [
+            Plan::baseline(),
+            Plan {
+                clustering: ClusteringStrategy::Fixed(3),
+                kernel: KernelChoice::ClusterWise,
+                ..Plan::baseline()
+            },
+        ] {
+            let oracle = product_on(&reg, BackendId::SerialReference, &a, &a, plan);
+            let got = product_on(&reg, BackendId::AdaptiveCpu, &a, &a, plan);
+            assert!(
+                got.approx_eq(&oracle, 0.0),
+                "degenerate rows diverge under thresholds {t:?}, plan {}",
+                plan.describe()
             );
         }
     }

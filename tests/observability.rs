@@ -40,6 +40,11 @@ fn golden_input() -> (Vec<RequestTrace>, MetricsRegistry) {
     let registry = MetricsRegistry::new();
     registry.counter("requests_completed").add(3);
     registry.gauge("queue_depth").set(2);
+    // The parallel-pool names the service delta-syncs from
+    // `rayon::pool_stats` — part of the stable v1 namespace.
+    registry.counter("pool.tasks").add(42);
+    registry.counter("pool.steals").add(5);
+    registry.gauge("pool.split_depth").set_max(3);
     let h = registry.histogram("latency_seconds");
     for v in [0.001, 0.001, 0.0035, 1.5] {
         h.record(v);
@@ -183,6 +188,18 @@ fn traced_service_jsonl_nests_and_reconciles_with_reports() {
     );
     let latency = last.get("histograms").and_then(|h| h.get("latency_seconds")).unwrap();
     assert_eq!(latency.get("count").and_then(JsonValue::as_f64), Some(responses.len() as f64));
+    // The parallel-pool namespace is present in every export (registered
+    // at service construction, delta-synced from `rayon::pool_stats` on
+    // the read path). The counters mirror process-wide pool totals, so
+    // only presence and the gauge's non-negativity are pinned.
+    assert!(counters.get("pool.tasks").and_then(JsonValue::as_f64).is_some());
+    assert!(counters.get("pool.steals").and_then(JsonValue::as_f64).is_some());
+    let split_depth = last
+        .get("gauges")
+        .and_then(|g| g.get("pool.split_depth"))
+        .and_then(JsonValue::as_f64)
+        .expect("pool.split_depth gauge exported");
+    assert!(split_depth >= 0.0);
 }
 
 #[test]

@@ -1,28 +1,67 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent work-stealing
+//! thread pool.
 //!
 //! The build environment has no crates.io access, so this crate provides
-//! the subset of rayon's API the workspace kernels use, implemented with
-//! `std::thread::scope` (safe, no work stealing, static contiguous
-//! chunking):
+//! the subset of rayon's API the workspace kernels use:
 //!
 //! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()`
 //! * `(a..b).into_par_iter().map_init(init, f).collect::<Vec<_>>()`
 //! * `slice.par_iter_mut().for_each(f)` / `.for_each_init(init, f)`
 //! * [`current_num_threads`]
 //!
-//! Ordering semantics match rayon: `collect` preserves index order.
-//! Thread count comes from `RAYON_NUM_THREADS` or
-//! `std::thread::available_parallelism()`. Work smaller than one item per
-//! thread runs inline to avoid spawn overhead.
+//! Unlike the original scoped-thread stand-in (which paid a spawn/join
+//! round trip per call and used static contiguous chunking), parallel
+//! operations now run on **long-lived worker threads** started lazily on
+//! first use. Each worker owns a deque (`Mutex<VecDeque>`-backed; steal
+//! granularity, not deque micro-optimization, is what matters at this
+//! scale); jobs enter through a global injector and are split recursively
+//! — a worker halves any range bigger than the job's grain, keeps the
+//! front half, and publishes the back half for other workers to steal —
+//! so skewed workloads rebalance instead of being pinned to a static
+//! span.
+//!
+//! Ordering semantics match rayon: `collect` preserves index order no
+//! matter which worker computed which subrange. A panic inside a task is
+//! caught, the job's remaining tasks are drained without running the
+//! body, and the first panic payload is re-thrown on the calling thread —
+//! the pool itself survives and serves subsequent calls.
+//!
+//! Pool width is decided once per pool at construction: the default pool
+//! reads `RAYON_NUM_THREADS` (else `std::thread::available_parallelism`)
+//! exactly once at first use, and tests pin explicit widths per scope via
+//! [`with_pool_width`] — there is no process-global cached snapshot that
+//! can go stale when the env var changes mid-process. Work at width 1 (or
+//! nested inside a worker) runs inline on the caller, which keeps
+//! single-thread runs bit-identical to serial execution.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// The worker-thread count used by all parallel operations.
-pub fn current_num_threads() -> usize {
+// ---------------------------------------------------------------------------
+// Pool width
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-scope width override installed by [`with_pool_width`]; worker
+    /// threads pin it to their pool's width so nested calls agree.
+    static WIDTH_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True on pool worker threads: nested parallel calls run inline
+    /// instead of re-entering the pool (a worker blocking on its own pool
+    /// would deadlock at width 1).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The default pool width: `RAYON_NUM_THREADS` read once at first pool
+/// use, else the machine's available parallelism.
+fn default_width() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         std::env::var("RAYON_NUM_THREADS")
@@ -33,20 +72,292 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Splits `n` items into at most `current_num_threads()` contiguous spans.
-fn spans(n: usize) -> Vec<Range<usize>> {
-    let threads = current_num_threads().min(n.max(1));
-    let base = n / threads;
-    let extra = n % threads;
-    let mut out = Vec::with_capacity(threads);
-    let mut start = 0;
-    for t in 0..threads {
-        let len = base + usize::from(t < extra);
-        out.push(start..start + len);
-        start += len;
+/// The worker-thread count used by all parallel operations in the current
+/// scope (the [`with_pool_width`] override if one is installed, else the
+/// default width).
+pub fn current_num_threads() -> usize {
+    WIDTH_OVERRIDE.with(|w| w.get()).unwrap_or_else(default_width)
+}
+
+/// Runs `f` with all parallel operations on this thread pinned to a pool
+/// of exactly `width` workers (minimum 1), restoring the previous width on
+/// exit — including on panic. Pools are cached per width, so exercising
+/// widths 1/2/8 in one process reuses three long-lived pools rather than
+/// churning threads. Intended for tests; production width comes from the
+/// environment at first use.
+pub fn with_pool_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH_OVERRIDE.with(|w| w.set(self.0));
+        }
+    }
+    let prev = WIDTH_OVERRIDE.with(|w| w.replace(Some(width.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Pool statistics
+// ---------------------------------------------------------------------------
+
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static MAX_SPLIT_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic counters describing pool activity since process start,
+/// aggregated over every pool width (observability surfaces export these
+/// as `pool.*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leaf tasks executed (including inline width-1 runs).
+    pub tasks: u64,
+    /// Tasks taken from another worker's deque rather than popped locally.
+    pub steals: u64,
+    /// Deepest recursive split observed for any single task.
+    pub max_split_depth: u64,
+}
+
+/// A snapshot of the process-wide [`PoolStats`] counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        tasks: TASKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        max_split_depth: MAX_SPLIT_DEPTH.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing pool
+// ---------------------------------------------------------------------------
+
+/// A job body: runs one subrange of indices on the given worker slot.
+/// Slot `width` is reserved for the submitting/inline thread.
+type Body<'a> = &'a (dyn Fn(Range<usize>, usize) + Sync);
+
+/// Shared state of one in-flight parallel call.
+struct JobCore {
+    body: Body<'static>,
+    /// Ranges at or below this length execute as one leaf.
+    grain: usize,
+    /// Outstanding tasks (root counts as 1; each split adds 1).
+    pending: AtomicUsize,
+    /// Set after the first leaf panic: later leaves drain without running
+    /// the body so the caller unblocks promptly.
+    poisoned: AtomicBool,
+    /// First panic payload, re-thrown by the caller.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// One schedulable unit: a contiguous index subrange of a job.
+struct Task {
+    job: Arc<JobCore>,
+    range: Range<usize>,
+    depth: u64,
+}
+
+/// Shared state of one pool (fixed width, process lifetime).
+struct Shared {
+    width: usize,
+    /// New jobs enter here; any worker may take them.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: owner pops LIFO at the back (cache-warm child
+    /// halves), thieves steal FIFO at the front (the biggest ranges).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakeup generation: bumped on every publish so sleeping workers
+    /// can't miss work between their last scan and going to sleep.
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Publishes "new work exists": bump the generation and wake workers.
+    fn signal(&self) {
+        let mut g = self.generation.lock().unwrap();
+        *g = g.wrapping_add(1);
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+/// Returns the lazily-created persistent pool of the given width.
+fn pool(width: usize) -> Arc<Shared> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Shared>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().unwrap();
+    Arc::clone(map.entry(width).or_insert_with(|| {
+        let shared = Arc::new(Shared {
+            width,
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..width).map(|_| Mutex::new(VecDeque::new())).collect(),
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        for slot in 0..width {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("cw-pool-w{width}-{slot}"))
+                .spawn(move || worker_main(s, slot))
+                .expect("failed to spawn pool worker");
+        }
+        shared
+    }))
+}
+
+fn worker_main(shared: Arc<Shared>, slot: usize) {
+    IN_POOL.with(|f| f.set(true));
+    WIDTH_OVERRIDE.with(|w| w.set(Some(shared.width)));
+    loop {
+        let seen = *shared.generation.lock().unwrap();
+        while let Some(task) = find_task(&shared, slot) {
+            run_task(&shared, slot, task);
+        }
+        // If work was published after `seen` was read, the generation
+        // already moved and the wait falls through to a rescan.
+        let mut g = shared.generation.lock().unwrap();
+        while *g == seen {
+            g = shared.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Own deque (LIFO) → injector → steal from other deques (FIFO).
+fn find_task(shared: &Shared, slot: usize) -> Option<Task> {
+    if let Some(t) = shared.deques[slot].lock().unwrap().pop_back() {
+        return Some(t);
+    }
+    if let Some(t) = shared.injector.lock().unwrap().pop_front() {
+        return Some(t);
+    }
+    for victim in 0..shared.width {
+        if victim == slot {
+            continue;
+        }
+        if let Some(t) = shared.deques[victim].lock().unwrap().pop_front() {
+            STEALS.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Split-until-grain, then execute the remaining leaf. Each split keeps
+/// the front half (about to be hot in this worker's cache) and publishes
+/// the back half to this worker's deque for thieves.
+fn run_task(shared: &Shared, slot: usize, task: Task) {
+    let Task { job, mut range, mut depth } = task;
+    while range.len() > job.grain {
+        let mid = range.start + range.len() / 2;
+        job.pending.fetch_add(1, Ordering::SeqCst);
+        shared.deques[slot].lock().unwrap().push_back(Task {
+            job: Arc::clone(&job),
+            range: mid..range.end,
+            depth: depth + 1,
+        });
+        shared.signal();
+        range = range.start..mid;
+        depth += 1;
+    }
+    MAX_SPLIT_DEPTH.fetch_max(depth, Ordering::Relaxed);
+    execute_leaf(&job, range, slot);
+}
+
+fn execute_leaf(job: &JobCore, range: Range<usize>, slot: usize) {
+    TASKS.fetch_add(1, Ordering::Relaxed);
+    if !job.poisoned.load(Ordering::Acquire) {
+        let body = job.body;
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(range, slot))) {
+            let mut payload = job.payload.lock().unwrap();
+            if payload.is_none() {
+                *payload = Some(p);
+            }
+            job.poisoned.store(true, Ordering::Release);
+        }
+    }
+    if job.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let mut done = job.done.lock().unwrap();
+        *done = true;
+        job.cv.notify_all();
+    }
+}
+
+/// The one unsafe operation in the crate: erasing the caller's stack
+/// lifetime from a job body so the `'static` worker threads can hold it.
+#[allow(unsafe_code)]
+fn erase(body: Body<'_>) -> Body<'static> {
+    // SAFETY: `run_job` blocks until the job's pending count reaches zero
+    // and no worker dereferences `body` after decrementing its last task
+    // (dropping the job Arc does not read it), so the erased reference is
+    // never used after the caller's frame is live.
+    unsafe { std::mem::transmute(body) }
+}
+
+/// Leaf size for `n` items at the given width: ~8 leaves per worker, so
+/// stealing has slack to rebalance skew without per-item task overhead.
+fn grain_for(n: usize, width: usize) -> usize {
+    (n / (width * 8)).max(1)
+}
+
+/// Runs `body` over `0..n`, split across the current-width pool. Inline
+/// (sequential, ascending — bit-identical to serial) when the width is 1,
+/// when `n` fits a single leaf, or when already on a pool worker. The
+/// slot argument passed to `body` is the executing worker's index, or
+/// `width` for the submitting/inline thread.
+fn run_job(n: usize, body: Body<'_>) {
+    if n == 0 {
+        return;
+    }
+    let width = current_num_threads();
+    let inline = width <= 1 || IN_POOL.with(|f| f.get());
+    let grain = grain_for(n, width);
+    if inline || n <= grain {
+        TASKS.fetch_add(1, Ordering::Relaxed);
+        body(0..n, width);
+        return;
+    }
+    let shared = pool(width);
+    let job = Arc::new(JobCore {
+        body: erase(body),
+        grain,
+        pending: AtomicUsize::new(1),
+        poisoned: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    shared.injector.lock().unwrap().push_back(Task {
+        job: Arc::clone(&job),
+        range: 0..n,
+        depth: 0,
+    });
+    shared.signal();
+    let mut done = job.done.lock().unwrap();
+    while !*done {
+        done = job.cv.wait(done).unwrap();
+    }
+    drop(done);
+    let payload = job.payload.lock().unwrap().take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+/// Reassembles per-leaf outputs (tagged with their range start) into
+/// index order, no matter which worker produced which piece.
+fn stitch<R>(n: usize, mut parts: Vec<(usize, Vec<R>)>) -> Vec<R> {
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in parts {
+        out.append(&mut part);
     }
     out
 }
+
+// ---------------------------------------------------------------------------
+// rayon-shaped API
+// ---------------------------------------------------------------------------
 
 /// Everything call sites need in scope, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -83,8 +394,9 @@ impl ParRange {
         ParMap { range: self.range, f }
     }
 
-    /// Like [`ParRange::map`] but with per-thread mutable state built by
-    /// `init` (rayon's `map_init`).
+    /// Like [`ParRange::map`] but with per-worker mutable state built by
+    /// `init` (rayon's `map_init`). As in rayon, which items share a
+    /// state instance is schedule-dependent.
     pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<INIT, F>
     where
         INIT: Fn() -> I + Sync,
@@ -109,8 +421,15 @@ impl<F> ParMap<F> {
         R: Send,
         C: From<Vec<R>>,
     {
+        let n = self.range.len();
+        let offset = self.range.start;
         let f = &self.f;
-        run_mapped(self.range, move |_span_idx, i| f(i)).into()
+        let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        run_job(n, &|range: Range<usize>, _slot: usize| {
+            let out: Vec<R> = range.clone().map(|i| f(offset + i)).collect();
+            parts.lock().unwrap().push((range.start, out));
+        });
+        stitch(n, parts.into_inner().unwrap()).into()
     }
 }
 
@@ -122,75 +441,31 @@ pub struct ParMapInit<INIT, F> {
 }
 
 impl<INIT, F> ParMapInit<INIT, F> {
-    /// Collects results in index order; `init` runs once per worker.
+    /// Collects results in index order; `init` runs at most once per
+    /// worker slot (plus once for the inline/submitting slot).
     pub fn collect<I, R, C>(self) -> C
     where
         INIT: Fn() -> I + Sync,
         F: Fn(&mut I, usize) -> R + Sync,
+        I: Send,
         R: Send,
         C: From<Vec<R>>,
     {
-        let init = &self.init;
-        let f = &self.f;
         let n = self.range.len();
         let offset = self.range.start;
-        if n == 0 {
-            return Vec::new().into();
-        }
-        let chunks = spans(n);
-        if chunks.len() == 1 {
-            let mut state = init();
-            return (offset..offset + n).map(|i| f(&mut state, i)).collect::<Vec<R>>().into();
-        }
-        let mut parts: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|span| {
-                    s.spawn(move || {
-                        let mut state = init();
-                        span.map(|i| f(&mut state, offset + i)).collect::<Vec<R>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("rayon stand-in worker panicked"));
-            }
+        let width = current_num_threads();
+        let init = &self.init;
+        let f = &self.f;
+        let states: Vec<Mutex<Option<I>>> = (0..=width).map(|_| Mutex::new(None)).collect();
+        let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        run_job(n, &|range: Range<usize>, slot: usize| {
+            let mut guard = states[slot].lock().unwrap();
+            let state = guard.get_or_insert_with(init);
+            let out: Vec<R> = range.clone().map(|i| f(state, offset + i)).collect();
+            parts.lock().unwrap().push((range.start, out));
         });
-        parts.into_iter().flatten().collect::<Vec<R>>().into()
+        stitch(n, parts.into_inner().unwrap()).into()
     }
-}
-
-/// Plain parallel map helper shared by `collect` paths.
-fn run_mapped<R, F>(range: Range<usize>, f: F) -> Vec<R>
-where
-    F: Fn(usize, usize) -> R + Sync,
-    R: Send,
-{
-    let n = range.len();
-    let offset = range.start;
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunks = spans(n);
-    if chunks.len() == 1 {
-        return (0..n).map(|i| f(0, offset + i)).collect();
-    }
-    let mut parts: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(t, span)| {
-                let f = &f;
-                s.spawn(move || span.map(|i| f(t, offset + i)).collect::<Vec<R>>())
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("rayon stand-in worker panicked"));
-        }
-    });
-    parts.into_iter().flatten().collect()
 }
 
 /// `par_iter_mut` over slices (and anything derefing to a slice).
@@ -219,44 +494,37 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         self.for_each_init(|| (), |(), item| f(item));
     }
 
-    /// Applies `f` with per-thread state built by `init` (rayon's
-    /// `for_each_init`).
+    /// Applies `f` with per-worker state built by `init` (rayon's
+    /// `for_each_init`). As in rayon, which elements share a state
+    /// instance is schedule-dependent.
     pub fn for_each_init<I, INIT, F>(self, init: INIT, f: F)
     where
         INIT: Fn() -> I + Sync,
         F: Fn(&mut I, &mut T) + Sync,
+        I: Send,
     {
         let n = self.slice.len();
         if n == 0 {
             return;
         }
-        let chunks = spans(n);
-        if chunks.len() == 1 {
-            let mut state = init();
-            for item in self.slice.iter_mut() {
-                f(&mut state, item);
-            }
-            return;
-        }
-        // Carve the slice into disjoint spans, one per worker.
-        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
-        let mut rest = self.slice;
-        let mut parts: Vec<&mut [T]> = Vec::with_capacity(sizes.len());
-        for len in sizes {
-            let (here, there) = rest.split_at_mut(len);
-            parts.push(here);
-            rest = there;
-        }
-        std::thread::scope(|s| {
-            for part in parts {
-                let init = &init;
-                let f = &f;
-                s.spawn(move || {
-                    let mut state = init();
-                    for item in part.iter_mut() {
-                        f(&mut state, item);
-                    }
-                });
+        let width = current_num_threads();
+        // Pre-carve the slice into grain-sized disjoint chunks; the pool
+        // then schedules chunk *indices*, so stealing moves whole chunks
+        // and each `&mut` handoff is an uncontended lock + take.
+        let grain = grain_for(n, width);
+        let chunks: Vec<Mutex<Option<&mut [T]>>> =
+            self.slice.chunks_mut(grain).map(|c| Mutex::new(Some(c))).collect();
+        let states: Vec<Mutex<Option<I>>> = (0..=width).map(|_| Mutex::new(None)).collect();
+        let init = &init;
+        let f = &f;
+        run_job(chunks.len(), &|range: Range<usize>, slot: usize| {
+            let mut guard = states[slot].lock().unwrap();
+            let state = guard.get_or_insert_with(init);
+            for ci in range {
+                let chunk = chunks[ci].lock().unwrap().take().expect("each chunk is taken once");
+                for item in chunk {
+                    f(state, item);
+                }
             }
         });
     }
@@ -273,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn map_init_runs_init_per_worker_and_orders_output() {
+    fn map_init_reuses_state_and_orders_output() {
         let out: Vec<usize> = (5..105)
             .into_par_iter()
             .map_init(Vec::<usize>::new, |scratch, i| {
@@ -282,7 +550,11 @@ mod tests {
             })
             .collect();
         assert_eq!(out.len(), 100);
-        assert_eq!(out[0], 5 + 1);
+        // Which state instance each item sees is schedule-dependent, but
+        // every call observes its own push, so out[i] > 5 + i always.
+        for (k, &v) in out.iter().enumerate() {
+            assert!(v > 5 + k, "index {k}: {v}");
+        }
     }
 
     #[test]
@@ -310,5 +582,57 @@ mod tests {
         let parts: Vec<u64> = (0..100_000).into_par_iter().map(|i| i as u64).collect();
         let total: u64 = parts.iter().sum();
         assert_eq!(total, 99_999 * 100_000 / 2);
+    }
+
+    #[test]
+    fn with_pool_width_overrides_and_restores() {
+        let base = super::current_num_threads();
+        super::with_pool_width(3, || {
+            assert_eq!(super::current_num_threads(), 3);
+            super::with_pool_width(2, || assert_eq!(super::current_num_threads(), 2));
+            assert_eq!(super::current_num_threads(), 3);
+        });
+        assert_eq!(super::current_num_threads(), base);
+    }
+
+    #[test]
+    fn pooled_collect_matches_serial_at_every_width() {
+        let expect: Vec<usize> = (0..5000usize).map(|i| i.wrapping_mul(31)).collect();
+        for width in [1usize, 2, 8] {
+            let got: Vec<usize> = super::with_pool_width(width, || {
+                (0..5000).into_par_iter().map(|i| i.wrapping_mul(31)).collect()
+            });
+            assert_eq!(got, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(|| {
+                super::with_pool_width(2, || {
+                    let _: Vec<usize> = (0..10_000)
+                        .into_par_iter()
+                        .map(|i| if i == 7777 { panic!("boom {round}") } else { i })
+                        .collect();
+                })
+            });
+            assert!(caught.is_err(), "round {round}: panic must propagate");
+            // The same pool must keep serving work after the panic.
+            let ok: Vec<usize> =
+                super::with_pool_width(2, || (0..100).into_par_iter().map(|i| i + 1).collect());
+            assert_eq!(ok.len(), 100);
+        }
+    }
+
+    #[test]
+    fn pool_stats_counters_are_monotonic() {
+        let before = super::pool_stats();
+        let _: Vec<usize> =
+            super::with_pool_width(2, || (0..10_000).into_par_iter().map(|i| i).collect());
+        let after = super::pool_stats();
+        assert!(after.tasks > before.tasks, "leaf tasks must be counted");
+        assert!(after.steals >= before.steals);
+        assert!(after.max_split_depth >= before.max_split_depth);
     }
 }
