@@ -1,7 +1,7 @@
 //! `paper` — regenerates the paper's figures and tables.
 //!
 //! ```text
-//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|backends|calibrate|engine|planner|serving|all>
+//! paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|backends|calibrate|engine|net|planner|serving|all>
 //!       [--scale small|medium|large] [--subset N] [--reps N]
 //!       [--seed N] [--out DIR]
 //! ```
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|backends|calibrate|engine|planner|serving|all>\n\
+        "usage: paper <fig2|fig3|fig8|fig9|fig10|fig11|table2|table3|table4|ablation|backends|calibrate|engine|net|planner|serving|all>\n\
          \x20      [--scale small|medium|large] [--subset N] [--reps N] [--seed N] [--out DIR]"
     );
     std::process::exit(2)
@@ -77,6 +77,7 @@ fn main() -> ExitCode {
             "calibrate" => cw_bench::experiments::calibrate::run(cfg),
             "corpus" => cw_bench::experiments::corpus::run(cfg),
             "engine" => cw_bench::experiments::engine::run(cfg),
+            "net" => cw_bench::experiments::net::run(cfg),
             "planner" => cw_bench::experiments::planner::run(cfg),
             "serving" => cw_bench::experiments::serving::run(cfg),
             "summary" => cw_bench::experiments::summary::run(cfg),

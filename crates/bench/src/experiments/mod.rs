@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig8;
 pub mod fig9;
+pub mod net;
 pub mod planner;
 pub mod serving;
 pub mod summary;

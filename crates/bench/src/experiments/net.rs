@@ -1,0 +1,407 @@
+//! Net experiment: the same offered-load idea as `serving`, but through
+//! the `CWNP` wire protocol — what does crossing a socket cost?
+//!
+//! Three probes:
+//!
+//! * **Wire overhead** — warm p50 through a live endpoint vs warm p50 of
+//!   direct `SpgemmService` submits on the same operands. The ratio
+//!   (framing + CSRB codec + loopback TCP tax) is gated absolutely by the
+//!   perf gate's `bounded_` contract.
+//! * **Concurrency sweep** — N client connections hammering the endpoint
+//!   at once: throughput, p50/p99 wire latency.
+//! * **Deadline shed** — a mixed open-loop burst where half the requests
+//!   carry a deadline shorter than the server's batch window; the shed
+//!   fraction confirms QoS rejects exactly the hopeless half.
+//!
+//! The endpoint is a real `cw-serve` process when the binary is present
+//! next to the running executable (CI builds it first); otherwise an
+//! in-process `NetServer` serves on the same protocol — the report notes
+//! which mode ran.
+
+use crate::report::{Direction, Report, Table};
+use crate::runner::{anchor_seconds, RunConfig};
+use cw_net::{ClientConfig, NetClient, NetServer, NetServerConfig, Qos, RejectCode};
+use cw_service::{MultiplyRequest, ServiceConfig, SpgemmService};
+use cw_sparse::CsrMatrix;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client connection counts swept.
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+/// Warm requests measured per client per sweep cell.
+const REQUESTS_PER_CLIENT: usize = 16;
+/// Alternating wire/in-process rounds in the overhead probe.
+const OVERHEAD_ROUNDS: usize = 3;
+/// Warm requests measured per overhead round.
+const OVERHEAD_REQUESTS: usize = 48;
+/// Requests in the deadline-shed burst (half deadlined, half not).
+const SHED_REQUESTS: usize = 20;
+
+/// One wire endpoint: a spawned `cw-serve` process when the binary is
+/// available, an in-process [`NetServer`] otherwise.
+enum Endpoint {
+    Process(std::process::Child),
+    InProcess(NetServer),
+}
+
+struct WireServer {
+    // `Option` so `finish` can move the endpoint out from under the
+    // kill-on-drop safety net below.
+    endpoint: Option<Endpoint>,
+    addr: SocketAddr,
+}
+
+impl WireServer {
+    /// Starts an endpoint with the given service shape.
+    fn start(shards: usize, window: Duration, queue_capacity: usize, seed: u64) -> WireServer {
+        if let Some(bin) = find_cw_serve() {
+            if let Some(server) = spawn_serve(&bin, shards, window, queue_capacity, seed) {
+                return server;
+            }
+        }
+        let service = SpgemmService::new(ServiceConfig {
+            shards,
+            batch_window: window,
+            queue_capacity,
+            seed,
+            ..ServiceConfig::default()
+        });
+        let server = NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default())
+            .expect("bind in-process endpoint");
+        let addr = server.local_addr();
+        WireServer { endpoint: Some(Endpoint::InProcess(server)), addr }
+    }
+
+    fn mode(&self) -> &'static str {
+        match self.endpoint {
+            Some(Endpoint::Process(_)) => "cw-serve process",
+            _ => "in-process NetServer (cw-serve binary not found)",
+        }
+    }
+
+    /// Asks the endpoint to drain via the wire, then reaps it.
+    fn finish(mut self, client: &mut NetClient) {
+        let _ = client.shutdown_server();
+        match self.endpoint.take() {
+            Some(Endpoint::Process(mut child)) => {
+                let _ = child.wait();
+            }
+            Some(Endpoint::InProcess(server)) => {
+                server.shutdown();
+            }
+            None => {}
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        // Safety net for panics mid-measurement: never leak a cw-serve
+        // process (an in-process NetServer drains via its own Drop).
+        if let Some(Endpoint::Process(child)) = &mut self.endpoint {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// `cw-serve` sits next to whatever binary is running (`paper`, a test
+/// runner under `deps/`) when the workspace was built with it.
+fn find_cw_serve() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for base in [dir, dir.parent()?] {
+        let candidate = base.join("cw-serve");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn spawn_serve(
+    bin: &PathBuf,
+    shards: usize,
+    window: Duration,
+    queue_capacity: usize,
+    seed: u64,
+) -> Option<WireServer> {
+    let mut child = std::process::Command::new(bin)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--shards", &shards.to_string()])
+        .args(["--window-ms", &window.as_millis().to_string()])
+        .args(["--queue-capacity", &queue_capacity.to_string()])
+        .args(["--seed", &seed.to_string()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let stdout = child.stdout.take()?;
+    let mut banner = String::new();
+    BufReader::new(stdout).read_line(&mut banner).ok()?;
+    let addr: SocketAddr = banner.trim().strip_prefix("cw-serve listening on ")?.parse().ok()?;
+    Some(WireServer { endpoint: Some(Endpoint::Process(child)), addr })
+}
+
+fn connect(addr: SocketAddr) -> NetClient {
+    NetClient::connect(addr, ClientConfig::default()).expect("connect endpoint")
+}
+
+fn p50(latencies: &mut [f64]) -> f64 {
+    latencies.sort_by(f64::total_cmp);
+    latencies.get(latencies.len() / 2).copied().unwrap_or(f64::NAN)
+}
+
+fn p99(latencies: &mut [f64]) -> f64 {
+    latencies.sort_by(f64::total_cmp);
+    if latencies.is_empty() {
+        return f64::NAN;
+    }
+    latencies[((latencies.len() - 1) * 99) / 100]
+}
+
+/// Warm p50 of direct in-process service submits (the wire-free baseline).
+fn inproc_round(mats: &[Arc<CsrMatrix>], seed: u64) -> f64 {
+    let service = SpgemmService::new(ServiceConfig {
+        shards: 2,
+        batch_window: Duration::ZERO,
+        queue_capacity: OVERHEAD_REQUESTS * 2 + 64,
+        seed,
+        ..ServiceConfig::default()
+    });
+    for a in mats {
+        let _ = service
+            .submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a)))
+            .expect("queue sized to load")
+            .wait();
+    }
+    let mut lat = Vec::with_capacity(OVERHEAD_REQUESTS);
+    for i in 0..OVERHEAD_REQUESTS {
+        let a = &mats[i % mats.len()];
+        let t0 = Instant::now();
+        let ok = service
+            .submit(MultiplyRequest::new(Arc::clone(a), Arc::clone(a)))
+            .expect("queue sized to load")
+            .wait()
+            .is_ok();
+        if ok {
+            lat.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    service.shutdown();
+    p50(&mut lat)
+}
+
+/// Warm (p50, p99) of the same traffic through a fresh wire endpoint.
+fn wire_round(mats: &[Arc<CsrMatrix>], seed: u64) -> (f64, f64) {
+    let server = WireServer::start(2, Duration::ZERO, OVERHEAD_REQUESTS * 2 + 64, seed);
+    let mut client = connect(server.addr);
+    for a in mats {
+        client.multiply(a, a).expect("warmup serves");
+    }
+    let mut lat = Vec::with_capacity(OVERHEAD_REQUESTS);
+    for i in 0..OVERHEAD_REQUESTS {
+        let a = &mats[i % mats.len()];
+        let t0 = Instant::now();
+        if client.multiply(a, a).is_ok() {
+            lat.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    server.finish(&mut client);
+    (p50(&mut lat), p99(&mut lat))
+}
+
+/// Runs the net experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let datasets = cfg.select(cw_datasets::representative(cfg.scale));
+    let mats: Vec<Arc<CsrMatrix>> = datasets.iter().map(|d| Arc::new(d.build(cfg.scale))).collect();
+
+    let mut rep = Report::new(
+        "net",
+        "CWNP wire serving: overhead vs in-process, concurrency sweep, deadline shed",
+    );
+    rep.note(
+        "wire latency is wall-clock around NetClient::multiply (encode + TCP + admission + \
+         execution + decode); the in-process baseline is wall-clock around submit+wait on the \
+         same warm operands.",
+    );
+
+    // --- Concurrency sweep: N connections at once ---
+    let mut t = Table::new(vec![
+        "clients",
+        "requests",
+        "served",
+        "rejected",
+        "wall s",
+        "throughput req/s",
+        "wire p50 ms",
+        "wire p99 ms",
+    ]);
+    let mut sweep_mode = "";
+    for clients in CLIENT_COUNTS {
+        let total = clients * REQUESTS_PER_CLIENT;
+        let server = WireServer::start(2, Duration::ZERO, total * 2 + 64, cfg.seed);
+        sweep_mode = server.mode();
+        let mut warm = connect(server.addr);
+        for a in &mats {
+            warm.multiply(a, a).expect("warmup serves");
+        }
+        let t0 = Instant::now();
+        let mut all_lat: Vec<f64> = Vec::with_capacity(total);
+        let mut served = 0u64;
+        let mut rejected = 0u64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let mats = &mats;
+                    let addr = server.addr;
+                    scope.spawn(move || {
+                        let mut client = connect(addr);
+                        let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                        let mut served = 0u64;
+                        let mut rejected = 0u64;
+                        for i in 0..REQUESTS_PER_CLIENT {
+                            let a = &mats[(c + i) % mats.len()];
+                            let t0 = Instant::now();
+                            match client.multiply(a, a) {
+                                Ok(_) => {
+                                    served += 1;
+                                    lat.push(t0.elapsed().as_secs_f64());
+                                }
+                                Err(_) => rejected += 1,
+                            }
+                        }
+                        (lat, served, rejected)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (lat, s, r) = h.join().expect("client thread");
+                all_lat.extend(lat);
+                served += s;
+                rejected += r;
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let mut finisher = connect(server.addr);
+        server.finish(&mut finisher);
+        t.push_row(vec![
+            clients.to_string(),
+            total.to_string(),
+            served.to_string(),
+            rejected.to_string(),
+            format!("{wall:.4}"),
+            format!("{:.1}", served as f64 / wall.max(1e-9)),
+            format!("{:.3}", p50(&mut all_lat) * 1e3),
+            format!("{:.3}", p99(&mut all_lat) * 1e3),
+        ]);
+    }
+    rep.note(format!("endpoint mode: {sweep_mode}."));
+    rep.add_table("concurrency sweep", t);
+
+    // --- Wire-overhead probe: alternating wire / in-process rounds ---
+    let mut wire_p50 = f64::INFINITY;
+    let mut wire_p99 = f64::INFINITY;
+    let mut inproc_p50 = f64::INFINITY;
+    for round in 0..OVERHEAD_ROUNDS {
+        let seed = cfg.seed.wrapping_add(round as u64);
+        let (w50, w99) = wire_round(&mats, seed);
+        wire_p50 = wire_p50.min(w50);
+        wire_p99 = wire_p99.min(w99);
+        inproc_p50 = inproc_p50.min(inproc_round(&mats, seed));
+    }
+    let overhead_ratio = wire_p50 / inproc_p50.max(1e-12);
+    rep.note(format!(
+        "wire overhead probe: warm p50 {:.1}µs over the wire vs {:.1}µs in-process over {} \
+         alternating rounds of {} requests → ratio {:.2} (perf-gated ceiling: see \
+         bounded_wire_overhead_ratio in ci/bench_baseline.json).",
+        wire_p50 * 1e6,
+        inproc_p50 * 1e6,
+        OVERHEAD_ROUNDS,
+        OVERHEAD_REQUESTS,
+        overhead_ratio,
+    ));
+
+    // --- Deadline shed: half the burst cannot make its deadline ---
+    // The server coalesces under a 25ms batch window; a 1ms deadline
+    // expires while parked, so QoS must shed exactly the deadlined half
+    // (and nothing else) — rejected before execution, never a stale reply.
+    let shed_server = WireServer::start(1, Duration::from_millis(25), SHED_REQUESTS * 2, cfg.seed);
+    let mut shed_client = connect(shed_server.addr);
+    let a = &mats[0];
+    shed_client.multiply(a, a).expect("warmup serves");
+    let (mut shed, mut kept) = (0u64, 0u64);
+    for i in 0..SHED_REQUESTS {
+        let qos = if i % 2 == 0 {
+            Qos { deadline: Some(Duration::from_millis(1)), ..Qos::none() }
+        } else {
+            Qos::none()
+        };
+        match shed_client.multiply_qos(a, a, qos) {
+            Ok(_) => kept += 1,
+            Err(e) if e.is_rejected_with(RejectCode::DeadlineExpired) => shed += 1,
+            Err(e) => panic!("unexpected wire error in shed burst: {e}"),
+        }
+    }
+    let shed_frac = shed as f64 / SHED_REQUESTS as f64;
+    rep.note(format!(
+        "deadline shed burst: {SHED_REQUESTS} requests, every other one deadlined at 1ms under \
+         a 25ms batch window → {shed} shed, {kept} served (fraction {shed_frac:.2})."
+    ));
+    // The endpoint's own books — including the net.* wire metrics — as a
+    // versioned JSONL artifact (uploaded by the CI net job).
+    let obs_jsonl = shed_client.stats_jsonl().expect("stats over the wire");
+    shed_server.finish(&mut shed_client);
+    rep.attachments.push(("OBS_net.jsonl".to_string(), obs_jsonl));
+
+    rep.add_metric("warm_wire_p50_s", wire_p50, Direction::LowerIsBetter);
+    rep.add_metric("warm_inproc_p50_s", inproc_p50, Direction::LowerIsBetter);
+    rep.add_metric("bounded_wire_overhead_ratio", overhead_ratio, Direction::LowerIsBetter);
+    rep.add_metric("wire_p99_s", wire_p99, Direction::LowerIsBetter);
+    rep.add_metric("deadline_shed_frac", shed_frac, Direction::HigherIsBetter);
+    rep.add_metric("anchor_s", anchor_seconds(cfg.reps), Direction::LowerIsBetter);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_experiment_measures_wire_and_sheds_deadlines() {
+        let cfg = RunConfig { reps: 1, subset: Some(2), ..Default::default() };
+        let rep = run(&cfg);
+        assert_eq!(rep.id, "net");
+        let (_, t) = &rep.tables[0];
+        assert_eq!(t.rows.len(), CLIENT_COUNTS.len());
+        for row in &t.rows {
+            let requests: u64 = row[1].parse().unwrap();
+            let served: u64 = row[2].parse().unwrap();
+            assert_eq!(served, requests, "queue sized to the load must serve all: {row:?}");
+        }
+
+        let metric = |name: &str| {
+            rep.metrics.iter().find(|m| m.name == name).unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!(metric("warm_wire_p50_s").value > 0.0);
+        assert!(metric("warm_inproc_p50_s").value > 0.0);
+        assert!(metric("wire_p99_s").value >= metric("warm_wire_p50_s").value);
+        let ratio = metric("bounded_wire_overhead_ratio").value;
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio {ratio}");
+        // Exactly the deadlined half of the burst was shed.
+        assert_eq!(metric("deadline_shed_frac").value, 0.5);
+
+        // The JSONL artifact carries the wire metrics, shed count included.
+        let (name, jsonl) =
+            rep.attachments.iter().find(|(n, _)| n == "OBS_net.jsonl").expect("obs artifact");
+        assert_eq!(name, "OBS_net.jsonl");
+        assert!(jsonl.contains("\"net.served\":"), "missing net counters:\n{jsonl}");
+        assert!(
+            jsonl.contains(&format!("\"net.deadline_shed\":{}", SHED_REQUESTS / 2)),
+            "shed count must be visible in the wire metrics:\n{jsonl}"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! [`NetClient`]: a blocking wire client for one `cw-net` endpoint.
+//!
+//! The client keeps one TCP connection and reconnects lazily with
+//! exponential backoff when an I/O error breaks it — the next call dials
+//! again instead of failing forever. Request ids are assigned
+//! monotonically per client and echoed by the server; replies carry them
+//! back so a mismatch is detected as a protocol error.
+
+use crate::frame::{
+    decode_reject_payload, decode_result_payload, encode_submit_payload, read_frame, Frame,
+    FrameError, OpCode, RejectCode, WireReport, FLAG_NO_WAIT,
+};
+use cw_service::Priority;
+use cw_sparse::io::CsrCodecError;
+use cw_sparse::CsrMatrix;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tunables for a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Cap on waiting for one reply frame (covers queueing + execution on
+    /// the server; size it to the slowest multiply you expect to wait on).
+    pub read_timeout: Duration,
+    /// Cap on writing one request frame.
+    pub write_timeout: Duration,
+    /// Dial attempts per (re)connect before giving up.
+    pub connect_attempts: u32,
+    /// Backoff after the first failed dial; doubles per attempt.
+    pub connect_backoff: Duration,
+    /// Largest accepted reply payload.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(30),
+            connect_attempts: 5,
+            connect_backoff: Duration::from_millis(50),
+            max_frame_bytes: 64 << 20,
+        }
+    }
+}
+
+/// QoS envelope for one request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Qos {
+    /// Priority class carried in the frame header.
+    pub priority: Priority,
+    /// Relative deadline (from server receipt); rounded up to whole
+    /// milliseconds on the wire, `None` = never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl Qos {
+    /// High priority, no deadline — the server treats this identically to
+    /// pre-QoS traffic.
+    pub fn none() -> Qos {
+        Qos::default()
+    }
+
+    fn deadline_ms(&self) -> u32 {
+        match self.deadline {
+            // 0 means "no deadline" on the wire, so a sub-millisecond
+            // budget rounds *up* — a deadline must never silently vanish.
+            Some(d) => (d.as_millis().clamp(1, u32::MAX as u128)) as u32,
+            None => 0,
+        }
+    }
+}
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (dial, send, or receive). The connection is
+    /// dropped; the next call reconnects.
+    Io(io::Error),
+    /// A reply frame could not be decoded.
+    Frame(FrameError),
+    /// A reply payload's CSR blob could not be decoded.
+    Codec(CsrCodecError),
+    /// The server refused the request.
+    Rejected {
+        /// Machine-readable cause.
+        code: RejectCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with something that violates the protocol
+    /// (wrong op, mismatched request id, malformed reject payload).
+    Protocol(String),
+}
+
+impl NetError {
+    /// Whether this is a `Rejected` with the given code.
+    pub fn is_rejected_with(&self, want: RejectCode) -> bool {
+        matches!(self, NetError::Rejected { code, .. } if *code == want)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Frame(e) => write!(f, "frame: {e}"),
+            NetError::Codec(e) => write!(f, "payload: {e}"),
+            NetError::Rejected { code, message } => write!(f, "rejected ({code}): {message}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        // Transport-level failures keep their io kind so callers can
+        // distinguish timeouts from protocol damage.
+        match e {
+            FrameError::Io(io) => NetError::Io(io),
+            other => NetError::Frame(other),
+        }
+    }
+}
+
+impl From<CsrCodecError> for NetError {
+    fn from(e: CsrCodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// A successfully served wire multiply.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// `C = lhs · rhs`, bit-identical to a direct [`cw_engine::Engine`]
+    /// multiply with the same configuration.
+    pub product: CsrMatrix,
+    /// The server's serving telemetry.
+    pub report: WireReport,
+}
+
+/// Blocking client for one endpoint.
+#[derive(Debug)]
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects eagerly (with the config's dial retries).
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
+        let mut client = NetClient { addr, config, stream: None, next_id: 0 };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The endpoint this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, NetError> {
+        if self.stream.is_none() {
+            let mut backoff = self.config.connect_backoff;
+            let mut last: Option<io::Error> = None;
+            for attempt in 0..self.config.connect_attempts.max(1) {
+                if attempt > 0 {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        s.set_read_timeout(Some(self.config.read_timeout))?;
+                        s.set_write_timeout(Some(self.config.write_timeout))?;
+                        self.stream = Some(s);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if self.stream.is_none() {
+                return Err(NetError::Io(last.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotConnected, "no connect attempts")
+                })));
+            }
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One request/reply exchange. Any transport error drops the
+    /// connection so the next call redials.
+    fn exchange(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        let max = self.config.max_frame_bytes;
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            frame.write_to(stream)?;
+            Ok(read_frame(stream, max)?)
+        })();
+        if matches!(result, Err(NetError::Io(_))) {
+            self.stream = None;
+        }
+        let reply = result?;
+        if reply.request_id != frame.request_id && reply.request_id != 0 {
+            self.stream = None; // stream state unknown; start fresh
+            return Err(NetError::Protocol(format!(
+                "reply for request {} while waiting on {}",
+                reply.request_id, frame.request_id
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn next_request_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// `C = lhs · rhs` over the wire, high priority, no deadline.
+    pub fn multiply(&mut self, lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<WireResponse, NetError> {
+        self.multiply_qos(lhs, rhs, Qos::none())
+    }
+
+    /// `C = lhs · rhs` with a QoS envelope. The server sheds the request
+    /// with [`RejectCode::DeadlineExpired`] if the deadline passes before
+    /// it can be admitted.
+    pub fn multiply_qos(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        qos: Qos,
+    ) -> Result<WireResponse, NetError> {
+        let frame = Frame {
+            op: OpCode::Submit,
+            priority: qos.priority,
+            flags: 0,
+            request_id: self.next_request_id(),
+            deadline_ms: qos.deadline_ms(),
+            payload: encode_submit_payload(lhs, rhs),
+        };
+        let reply = self.exchange(&frame)?;
+        expect_result(reply)
+    }
+
+    /// Submits without waiting: the server answers `ACCEPTED` once the
+    /// request is admitted; redeem the returned id with
+    /// [`NetClient::poll`] **on this same client** (pending results are
+    /// connection-scoped — a reconnect abandons them).
+    pub fn submit_no_wait(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        qos: Qos,
+    ) -> Result<u64, NetError> {
+        let frame = Frame {
+            op: OpCode::Submit,
+            priority: qos.priority,
+            flags: FLAG_NO_WAIT,
+            request_id: self.next_request_id(),
+            deadline_ms: qos.deadline_ms(),
+            payload: encode_submit_payload(lhs, rhs),
+        };
+        let reply = self.exchange(&frame)?;
+        match reply.op {
+            OpCode::Accepted => Ok(frame.request_id),
+            OpCode::Reject => Err(reject_error(&reply)),
+            other => Err(NetError::Protocol(format!("expected ACCEPTED, got {other:?}"))),
+        }
+    }
+
+    /// Polls an earlier [`NetClient::submit_no_wait`]: `Ok(None)` while
+    /// still in flight, `Ok(Some(_))` once served, `Err(Rejected)` if the
+    /// server shed it.
+    pub fn poll(&mut self, request_id: u64) -> Result<Option<WireResponse>, NetError> {
+        let frame = Frame::control(OpCode::Poll, request_id);
+        let reply = self.exchange(&frame)?;
+        match reply.op {
+            OpCode::Pending => Ok(None),
+            _ => expect_result(reply).map(Some),
+        }
+    }
+
+    /// Fetches the server's JSONL observability export (the same bytes as
+    /// [`cw_service::SpgemmService::export_jsonl`], including the `net.*`
+    /// wire metrics).
+    pub fn stats_jsonl(&mut self) -> Result<String, NetError> {
+        let frame = Frame::control(OpCode::Stats, self.next_request_id());
+        let reply = self.exchange(&frame)?;
+        match reply.op {
+            OpCode::StatsOk => Ok(String::from_utf8_lossy(&reply.payload).into_owned()),
+            OpCode::Reject => Err(reject_error(&reply)),
+            other => Err(NetError::Protocol(format!("expected STATS_OK, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        let frame = Frame::control(OpCode::Shutdown, self.next_request_id());
+        let reply = self.exchange(&frame)?;
+        match reply.op {
+            OpCode::ShutdownOk => Ok(()),
+            OpCode::Reject => Err(reject_error(&reply)),
+            other => Err(NetError::Protocol(format!("expected SHUTDOWN_OK, got {other:?}"))),
+        }
+    }
+}
+
+fn reject_error(reply: &Frame) -> NetError {
+    match decode_reject_payload(&reply.payload) {
+        Some((code, message)) => NetError::Rejected { code, message },
+        None => NetError::Protocol("undecodable reject payload".into()),
+    }
+}
+
+fn expect_result(reply: Frame) -> Result<WireResponse, NetError> {
+    match reply.op {
+        OpCode::Result => {
+            let (report, product) = decode_result_payload(&reply.payload)?;
+            Ok(WireResponse { product, report })
+        }
+        OpCode::Reject => Err(reject_error(&reply)),
+        other => Err(NetError::Protocol(format!("expected RESULT, got {other:?}"))),
+    }
+}

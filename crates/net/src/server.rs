@@ -1,0 +1,573 @@
+//! [`NetServer`]: a bounded thread-per-connection TCP front-end over an
+//! owned [`SpgemmService`].
+//!
+//! Threading model (matching the service's std-only style): one acceptor
+//! thread polls a non-blocking listener; each accepted connection gets a
+//! handler thread, bounded by [`NetServerConfig::max_connections`] —
+//! over-limit connections receive a best-effort `REJECT Busy` and are
+//! closed without a thread. Handlers poll the *first byte* of each frame
+//! under a short timeout (so shutdown and idle limits stay responsive
+//! without ever losing frame alignment) and read the rest under the full
+//! [`NetServerConfig::read_timeout`].
+//!
+//! QoS lives at admission: a SUBMIT whose relative deadline already
+//! passed is rejected before the service queue is touched, and a full
+//! queue is retried (with backoff) only while the deadline still has
+//! budget — no deadline means `QueueFull` surfaces immediately. All wire
+//! activity lands as `net.*` counters/histograms on the *service's*
+//! metrics registry, so the existing JSONL exporter picks them up with no
+//! extra plumbing.
+
+use crate::frame::{
+    decode_submit_payload, encode_reject_payload, encode_result_payload,
+    read_frame_after_first_byte, Frame, OpCode, RejectCode, WireReport,
+};
+use cw_obs::{Counter, Gauge, LogHistogram};
+use cw_service::{MultiplyRequest, SpgemmService, SubmitError, Ticket};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Maximum concurrently served connections; the acceptor answers
+    /// over-limit connections with a best-effort `REJECT Busy` and closes
+    /// them without spawning a handler.
+    pub max_connections: usize,
+    /// Per-connection cap on how long reading one frame's body may take
+    /// once its first byte arrived.
+    pub read_timeout: Duration,
+    /// Per-connection cap on writing one reply frame.
+    pub write_timeout: Duration,
+    /// Largest accepted frame payload; bigger declarations are rejected
+    /// before any allocation ([`crate::FrameError::Oversized`]).
+    pub max_frame_bytes: usize,
+    /// Sleep between admission retries while a deadlined SUBMIT waits out
+    /// a full queue.
+    pub full_retry_backoff: Duration,
+    /// Idle connections (no frame started) are closed after this long.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_frame_bytes: 64 << 20,
+            full_retry_backoff: Duration::from_micros(500),
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// `net.*` obs cells, registered on the wrapped service's registry so the
+/// existing JSONL exporter and flight-recorder dump carry them.
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    connections: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    connections_rejected: Arc<Counter>,
+    requests: Arc<Counter>,
+    served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    deadline_shed: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    wire_seconds: Arc<LogHistogram>,
+    request_bytes: Arc<LogHistogram>,
+    response_bytes: Arc<LogHistogram>,
+}
+
+impl NetMetrics {
+    fn register(service: &SpgemmService) -> NetMetrics {
+        let m = service.metrics();
+        NetMetrics {
+            connections: m.counter("net.connections"),
+            connections_active: m.gauge("net.connections_active"),
+            connections_rejected: m.counter("net.connections_rejected"),
+            requests: m.counter("net.requests"),
+            served: m.counter("net.served"),
+            rejected: m.counter("net.rejected"),
+            deadline_shed: m.counter("net.deadline_shed"),
+            decode_errors: m.counter("net.decode_errors"),
+            wire_seconds: m.histogram("net.wire_seconds"),
+            request_bytes: m.histogram("net.request_bytes"),
+            response_bytes: m.histogram("net.response_bytes"),
+        }
+    }
+}
+
+struct Inner {
+    service: SpgemmService,
+    config: NetServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    metrics: NetMetrics,
+}
+
+/// A TCP serving front-end owning a [`SpgemmService`].
+///
+/// Bind with [`NetServer::bind`], talk to it with
+/// [`crate::NetClient`], stop it with [`NetServer::shutdown`] (or a
+/// client's SHUTDOWN frame + [`NetServer::run`], which is what the
+/// `cw-serve` binary does). Dropping the server shuts it down gracefully:
+/// in-flight connections finish their current request, then the service
+/// drains.
+#[derive(Debug)]
+pub struct NetServer {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("config", &self.config)
+            .field("shutdown", &self.shutdown)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]) and starts the acceptor.
+    pub fn bind<A: ToSocketAddrs>(
+        service: SpgemmService,
+        addr: A,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::register(&service);
+        let inner = Arc::new(Inner {
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            metrics,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("cw-net-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, inner, handlers))
+                .expect("spawn acceptor")
+        };
+        Ok(NetServer { inner, local_addr, acceptor: Mutex::new(Some(acceptor)), handlers })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped service (stats, metrics, JSONL export).
+    pub fn service(&self) -> &SpgemmService {
+        &self.inner.service
+    }
+
+    /// Whether a shutdown (local or via a SHUTDOWN frame) has begun.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a SHUTDOWN frame (or a local
+    /// [`NetServer::shutdown`] from another thread) stops the server,
+    /// then drains and returns the final service stats. The server —
+    /// and its service — stay alive for post-drain reads
+    /// ([`NetServer::service`], JSONL export). What `cw-serve` runs
+    /// after printing its address.
+    pub fn run(&self) -> cw_service::ServiceStats {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight connection
+    /// finish its current frame, then shut the service down. Idempotent.
+    pub fn shutdown(&self) -> cw_service::ServiceStats {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.lock().unwrap().take() {
+            let _ = a.join();
+        }
+        let drained: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        for h in drained {
+            let _ = h.join();
+        }
+        self.inner.service.shutdown()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.metrics.connections.inc();
+                let active = inner.active.load(Ordering::SeqCst);
+                if active >= inner.config.max_connections {
+                    inner.metrics.connections_rejected.inc();
+                    reject_busy(stream, &inner);
+                    continue;
+                }
+                inner.active.fetch_add(1, Ordering::SeqCst);
+                inner.metrics.connections_active.set(inner.active.load(Ordering::SeqCst) as i64);
+                let conn_inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("cw-net-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_inner);
+                        conn_inner.active.fetch_sub(1, Ordering::SeqCst);
+                        conn_inner
+                            .metrics
+                            .connections_active
+                            .set(conn_inner.active.load(Ordering::SeqCst) as i64);
+                    })
+                    .expect("spawn connection handler");
+                let mut guard = handlers.lock().unwrap();
+                // Reap finished handlers so the vec stays bounded by the
+                // connection limit instead of growing with lifetime count.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Best-effort `REJECT Busy` to an over-limit connection, on the acceptor
+/// thread (bounded by the write timeout so a slow peer cannot stall
+/// accepting).
+fn reject_busy(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    let reject = Frame {
+        payload: encode_reject_payload(RejectCode::Busy, "connection limit reached"),
+        ..Frame::control(OpCode::Reject, 0)
+    };
+    let _ = reject.write_to(&mut stream);
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Serves one connection until the peer hangs up, a fatal frame error
+/// occurs, the idle timeout passes, or shutdown begins.
+fn handle_connection(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    // Tickets of FLAG_NO_WAIT submits awaiting a POLL, keyed by the
+    // client's request id. Connection-scoped: a dropped connection drops
+    // its tickets (the service still serves them; responses are discarded).
+    let mut pending: HashMap<u64, PendingEntry> = HashMap::new();
+    let mut idle_since = Instant::now();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Poll only the first byte under a short timeout: shutdown and
+        // idle checks stay responsive, and a timeout here never splits a
+        // frame (nothing was consumed yet).
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => break, // peer closed
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if idle_since.elapsed() >= inner.config.idle_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        // Frame started: read the rest under the full read timeout. A
+        // timeout mid-frame is fatal for the connection (the stream can no
+        // longer be frame-aligned), but only for this connection.
+        let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+        let frame = match read_frame_after_first_byte(
+            first[0],
+            &mut stream,
+            inner.config.max_frame_bytes,
+        ) {
+            Ok(f) => f,
+            Err(err) => {
+                inner.metrics.decode_errors.inc();
+                let code = RejectCode::Malformed;
+                let reject = Frame {
+                    payload: encode_reject_payload(code, &err.to_string()),
+                    ..Frame::control(OpCode::Reject, 0)
+                };
+                let _ = reject.write_to(&mut stream);
+                break;
+            }
+        };
+        idle_since = Instant::now();
+        let keep_going = match frame.op {
+            OpCode::Submit => serve_submit(&mut stream, inner, frame, &mut pending),
+            OpCode::Poll => serve_poll(&mut stream, inner, frame, &mut pending),
+            OpCode::Stats => {
+                let payload = inner.service.export_jsonl().into_bytes();
+                let reply = Frame { payload, ..Frame::control(OpCode::StatsOk, frame.request_id) };
+                reply.write_to(&mut stream).is_ok()
+            }
+            OpCode::Shutdown => {
+                let reply = Frame::control(OpCode::ShutdownOk, frame.request_id);
+                let _ = reply.write_to(&mut stream);
+                inner.shutdown.store(true, Ordering::SeqCst);
+                false
+            }
+            // Reply ops arriving at the server are a protocol violation.
+            _ => {
+                inner.metrics.decode_errors.inc();
+                let reject = Frame {
+                    payload: encode_reject_payload(
+                        RejectCode::Malformed,
+                        &format!("unexpected op {:?} on server", frame.op),
+                    ),
+                    ..Frame::control(OpCode::Reject, frame.request_id)
+                };
+                let _ = reject.write_to(&mut stream);
+                false
+            }
+        };
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+struct PendingEntry {
+    ticket: Ticket,
+    deadline: Option<Instant>,
+}
+
+/// Writes a reject frame; returns whether the connection is still usable.
+fn write_reject(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    request_id: u64,
+    code: RejectCode,
+    message: &str,
+) -> bool {
+    inner.metrics.rejected.inc();
+    if code == RejectCode::DeadlineExpired {
+        inner.metrics.deadline_shed.inc();
+    }
+    let reject = Frame {
+        payload: encode_reject_payload(code, message),
+        ..Frame::control(OpCode::Reject, request_id)
+    };
+    reject.write_to(stream).is_ok()
+}
+
+/// Admission + execution of one SUBMIT frame.
+fn serve_submit(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    frame: Frame,
+    pending: &mut HashMap<u64, PendingEntry>,
+) -> bool {
+    let received = Instant::now();
+    inner.metrics.requests.inc();
+    inner.metrics.request_bytes.record(frame.payload.len() as f64);
+    let deadline =
+        (frame.deadline_ms > 0).then(|| received + Duration::from_millis(frame.deadline_ms as u64));
+    let (lhs, rhs) = match decode_submit_payload(&frame.payload) {
+        Ok(ops) => ops,
+        Err(e) => {
+            inner.metrics.decode_errors.inc();
+            // Payload decode failures are *not* fatal to the connection:
+            // the frame boundary was sound, so the stream stays aligned.
+            return write_reject(
+                stream,
+                inner,
+                frame.request_id,
+                RejectCode::Malformed,
+                &e.to_string(),
+            );
+        }
+    };
+    let mut request =
+        MultiplyRequest::new(Arc::new(lhs), Arc::new(rhs)).with_priority(frame.priority);
+    if let Some(d) = deadline {
+        request = request.with_deadline_at(d);
+    }
+
+    // Admission loop: a full queue is backpressure, so a deadlined request
+    // spends its remaining budget retrying (shed the moment the budget is
+    // gone — before enqueue, the cheap place); without a deadline,
+    // QueueFull surfaces to the client immediately.
+    let ticket = loop {
+        match inner.service.submit(request.clone()) {
+            Ok(t) => break t,
+            Err(SubmitError::DeadlineExpired) => {
+                return write_reject(
+                    stream,
+                    inner,
+                    frame.request_id,
+                    RejectCode::DeadlineExpired,
+                    "deadline expired before admission",
+                );
+            }
+            Err(SubmitError::Full) => match deadline {
+                Some(d) if Instant::now() < d && !inner.shutdown.load(Ordering::SeqCst) => {
+                    std::thread::sleep(inner.config.full_retry_backoff);
+                }
+                Some(_) => {
+                    return write_reject(
+                        stream,
+                        inner,
+                        frame.request_id,
+                        RejectCode::DeadlineExpired,
+                        "deadline expired waiting out a full queue",
+                    );
+                }
+                None => {
+                    return write_reject(
+                        stream,
+                        inner,
+                        frame.request_id,
+                        RejectCode::QueueFull,
+                        "service queue is full",
+                    );
+                }
+            },
+            Err(SubmitError::ShapeMismatch { lhs_ncols, rhs_nrows }) => {
+                return write_reject(
+                    stream,
+                    inner,
+                    frame.request_id,
+                    RejectCode::ShapeMismatch,
+                    &format!("lhs has {lhs_ncols} cols, rhs has {rhs_nrows} rows"),
+                );
+            }
+            Err(SubmitError::ShuttingDown) => {
+                return write_reject(
+                    stream,
+                    inner,
+                    frame.request_id,
+                    RejectCode::ShuttingDown,
+                    "server is draining",
+                );
+            }
+        }
+    };
+
+    if frame.no_wait() {
+        pending.insert(frame.request_id, PendingEntry { ticket, deadline });
+        let reply = Frame::control(OpCode::Accepted, frame.request_id);
+        return reply.write_to(stream).is_ok();
+    }
+
+    let outcome = ticket.wait();
+    finish_submit(stream, inner, frame.request_id, deadline, received, outcome)
+}
+
+/// Turns a ticket outcome into the RESULT/REJECT reply.
+fn finish_submit(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    request_id: u64,
+    deadline: Option<Instant>,
+    received: Instant,
+    outcome: Result<cw_service::MultiplyResponse, cw_service::ServiceError>,
+) -> bool {
+    match outcome {
+        Ok(resp) => {
+            let report = WireReport::from_service(&resp.report);
+            let payload = encode_result_payload(&report, &resp.product);
+            inner.metrics.served.inc();
+            inner.metrics.response_bytes.record(payload.len() as f64);
+            inner.metrics.wire_seconds.record(received.elapsed().as_secs_f64());
+            let reply = Frame {
+                priority: resp.report.priority,
+                payload,
+                ..Frame::control(OpCode::Result, request_id)
+            };
+            reply.write_to(stream).is_ok()
+        }
+        // The service hung up on the ticket: either a worker dropped an
+        // expired request, or the service tore down mid-flight.
+        Err(_) => {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                write_reject(
+                    stream,
+                    inner,
+                    request_id,
+                    RejectCode::DeadlineExpired,
+                    "deadline passed while queued; dropped unexecuted",
+                )
+            } else if inner.shutdown.load(Ordering::SeqCst) {
+                write_reject(
+                    stream,
+                    inner,
+                    request_id,
+                    RejectCode::ShuttingDown,
+                    "server is draining",
+                )
+            } else {
+                write_reject(
+                    stream,
+                    inner,
+                    request_id,
+                    RejectCode::Internal,
+                    "request dropped unserved",
+                )
+            }
+        }
+    }
+}
+
+/// Answers a POLL for an earlier no-wait submit on this connection.
+fn serve_poll(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    frame: Frame,
+    pending: &mut HashMap<u64, PendingEntry>,
+) -> bool {
+    let Some(entry) = pending.get(&frame.request_id) else {
+        return write_reject(
+            stream,
+            inner,
+            frame.request_id,
+            RejectCode::UnknownRequest,
+            "no pending submit with that id on this connection",
+        );
+    };
+    match entry.ticket.poll() {
+        None => {
+            let reply = Frame::control(OpCode::Pending, frame.request_id);
+            reply.write_to(stream).is_ok()
+        }
+        Some(outcome) => {
+            let entry = pending.remove(&frame.request_id).expect("entry just found");
+            finish_submit(stream, inner, frame.request_id, entry.deadline, Instant::now(), outcome)
+        }
+    }
+}

@@ -75,7 +75,7 @@ mod shard;
 mod stats;
 
 pub use request::{
-    MultiplyRequest, MultiplyResponse, ServiceError, ServiceReport, SubmitError, Ticket,
+    MultiplyRequest, MultiplyResponse, Priority, ServiceError, ServiceReport, SubmitError, Ticket,
 };
 pub use service::{ServiceConfig, SpgemmService};
 pub use stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};

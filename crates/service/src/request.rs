@@ -5,6 +5,32 @@ use cw_sparse::CsrMatrix;
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Two-level request priority for QoS admission.
+///
+/// [`Priority::High`] (the default) is admitted up to the full queue
+/// capacity. [`Priority::Low`] is additionally subject to
+/// [`crate::ServiceConfig::low_priority_watermark`]: once the in-flight
+/// count reaches the watermark, low-priority requests are shed with
+/// [`SubmitError::Full`] while high-priority traffic still has headroom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Normal traffic; admitted up to the full queue capacity.
+    #[default]
+    High,
+    /// Best-effort traffic; shed first under load.
+    Low,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::High => write!(f, "high"),
+            Priority::Low => write!(f, "low"),
+        }
+    }
+}
 
 /// One multiply to serve: `C = lhs · rhs`, optionally under a forced plan.
 ///
@@ -21,17 +47,46 @@ pub struct MultiplyRequest {
     /// `Some` forces this plan instead of the shard planner's choice
     /// (ablations, cross-validation); `None` lets the planner decide.
     pub plan: Option<Plan>,
+    /// `Some` bounds the request's useful lifetime: an already-expired
+    /// deadline is rejected at [`crate::SpgemmService::submit`] with
+    /// [`SubmitError::DeadlineExpired`] (shed cheap, before any queue slot
+    /// is taken), and a request whose deadline passes while it waits in
+    /// the queue is dropped by the worker instead of executing dead work —
+    /// its [`Ticket`] resolves [`ServiceError::Disconnected`] and the drop
+    /// is counted in [`crate::ServiceStats::deadline_dropped`]. `None`
+    /// (the default) never expires — prior behavior, bit-identical.
+    pub deadline: Option<Instant>,
+    /// QoS class; see [`Priority`]. Default [`Priority::High`] preserves
+    /// prior admission behavior bit-identically.
+    pub priority: Priority,
 }
 
 impl MultiplyRequest {
     /// Planner-chosen multiply request.
     pub fn new(lhs: Arc<CsrMatrix>, rhs: Arc<CsrMatrix>) -> MultiplyRequest {
-        MultiplyRequest { lhs, rhs, plan: None }
+        MultiplyRequest { lhs, rhs, plan: None, deadline: None, priority: Priority::default() }
     }
 
     /// Forces `plan` instead of the shard planner's choice.
     pub fn with_plan(mut self, plan: Plan) -> MultiplyRequest {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline_at(mut self, deadline: Instant) -> MultiplyRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `budget` from now.
+    pub fn with_deadline_in(self, budget: Duration) -> MultiplyRequest {
+        self.with_deadline_at(Instant::now() + budget)
+    }
+
+    /// Sets the QoS priority class.
+    pub fn with_priority(mut self, priority: Priority) -> MultiplyRequest {
+        self.priority = priority;
         self
     }
 }
@@ -60,6 +115,13 @@ pub struct ServiceReport {
     /// backend, the feedback loop's converged choice, or the request's
     /// forced plan — see [`crate::ServiceConfig::backend`]).
     pub backend: BackendId,
+    /// QoS class the request was admitted under.
+    pub priority: Priority,
+    /// Seconds of deadline budget left when the response was produced
+    /// (`None` when the request carried no deadline). Negative means the
+    /// deadline passed mid-execution — after the worker's pre-execution
+    /// check — so the response was still produced and delivered late.
+    pub deadline_slack_seconds: Option<f64>,
     /// The engine's per-stage report for the underlying multiply.
     pub execution: ExecutionReport,
 }
@@ -117,6 +179,9 @@ pub enum SubmitError {
         /// Rows of the submitted rhs.
         rhs_nrows: usize,
     },
+    /// The request's deadline had already passed at submission: rejected
+    /// at the front door before taking a queue slot (shed cheap, not deep).
+    DeadlineExpired,
     /// The service has begun shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -129,6 +194,9 @@ impl fmt::Display for SubmitError {
                 f,
                 "operand shapes do not compose: lhs has {lhs_ncols} cols, rhs has {rhs_nrows} rows"
             ),
+            SubmitError::DeadlineExpired => {
+                write!(f, "request deadline expired before admission")
+            }
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -139,7 +207,11 @@ impl std::error::Error for SubmitError {}
 /// Why an accepted request produced no response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The service was torn down before this request was executed.
+    /// The request was abandoned unserved: the service was torn down
+    /// before it executed, or its deadline passed while it queued and the
+    /// worker dropped it instead of executing dead work (counted in
+    /// [`crate::ServiceStats::deadline_dropped`]; a caller that set a
+    /// deadline can disambiguate by checking whether it has passed).
     Disconnected,
 }
 
@@ -147,7 +219,7 @@ impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::Disconnected => {
-                write!(f, "service shut down before the request completed")
+                write!(f, "service dropped the request before completing it")
             }
         }
     }
@@ -201,7 +273,26 @@ mod tests {
     fn errors_display_and_compare() {
         assert_ne!(SubmitError::Full, SubmitError::ShuttingDown);
         assert!(SubmitError::Full.to_string().contains("full"));
-        assert!(ServiceError::Disconnected.to_string().contains("shut down"));
+        assert!(ServiceError::Disconnected.to_string().contains("dropped"));
+        assert!(SubmitError::DeadlineExpired.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn request_defaults_carry_no_qos() {
+        let a = Arc::new(CsrMatrix::identity(3));
+        let req = MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a));
+        assert!(req.deadline.is_none());
+        assert_eq!(req.priority, Priority::High);
+
+        let soon = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let req = req.with_deadline_at(soon).with_priority(Priority::Low);
+        assert_eq!(req.deadline, Some(soon));
+        assert_eq!(req.priority, Priority::Low);
+        assert_eq!(Priority::Low.to_string(), "low");
+
+        let budgeted = MultiplyRequest::new(Arc::clone(&a), a)
+            .with_deadline_in(std::time::Duration::from_secs(1));
+        assert!(budgeted.deadline.unwrap() > std::time::Instant::now());
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub struct ServiceConfig {
     /// to a `w`-wide pool via [`rayon::with_pool_width`] — deterministic
     /// deployments, ablations, and in-process width tests.
     pub pool_width: Option<usize>,
+    /// QoS admission watermark for [`crate::Priority::Low`] traffic:
+    /// `Some(n)` sheds low-priority submissions with [`SubmitError::Full`]
+    /// once `n` requests are already in flight, reserving the remaining
+    /// `queue_capacity - n` slots for high-priority traffic. `None` (the
+    /// default) admits both classes identically — prior behavior.
+    pub low_priority_watermark: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +97,7 @@ impl Default for ServiceConfig {
             tracing: false,
             flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
             pool_width: None,
+            low_priority_watermark: None,
         }
     }
 }
@@ -103,6 +110,12 @@ struct Counters {
     submitted: Arc<Counter>,
     rejected: Arc<Counter>,
     completed: Arc<Counter>,
+    /// Submissions rejected at the front door because their deadline had
+    /// already passed (a subset of `rejected`).
+    deadline_rejected: Arc<Counter>,
+    /// Accepted requests dropped by a worker because their deadline passed
+    /// while they queued.
+    deadline_dropped: Arc<Counter>,
 }
 
 /// A threaded SpGEMM serving layer over [`cw_engine::Engine`].
@@ -180,6 +193,8 @@ impl SpgemmService {
             submitted: metrics.counter("requests_submitted"),
             rejected: metrics.counter("requests_rejected"),
             completed: metrics.counter("requests_completed"),
+            deadline_rejected: metrics.counter("requests_deadline_rejected"),
+            deadline_dropped: metrics.counter("requests_deadline_dropped"),
         };
         let queue_depth = metrics.gauge("queue_depth");
         // Service-wide histograms: shards share the same atomic buckets,
@@ -239,6 +254,7 @@ impl SpgemmService {
                 obs: obs.clone(),
                 reservoir: Arc::clone(&reservoir),
                 completed: Arc::clone(&counters.completed),
+                deadline_dropped: Arc::clone(&counters.deadline_dropped),
                 tracer: Arc::clone(&tracer),
                 latency_seconds: Arc::clone(&latency_seconds),
                 queue_seconds: Arc::clone(&queue_seconds),
@@ -316,9 +332,11 @@ impl SpgemmService {
 
     /// Submits a multiply. Returns a [`Ticket`] redeemable for the
     /// response, [`SubmitError::ShapeMismatch`] when the operands do not
-    /// compose, [`SubmitError::Full`] when the in-flight bound is hit
-    /// (backpressure — retry later), or [`SubmitError::ShuttingDown`]
-    /// after [`SpgemmService::shutdown`] began.
+    /// compose, [`SubmitError::DeadlineExpired`] when the request's
+    /// deadline already passed, [`SubmitError::Full`] when the in-flight
+    /// bound (or the low-priority watermark) is hit (backpressure — retry
+    /// later), or [`SubmitError::ShuttingDown`] after
+    /// [`SpgemmService::shutdown`] began.
     pub fn submit(&self, request: MultiplyRequest) -> Result<Ticket, SubmitError> {
         // Validate at the front door: a malformed pair must never reach
         // (and panic) a worker shard.
@@ -328,6 +346,13 @@ impl SpgemmService {
                 rhs_nrows: request.rhs.nrows,
             });
         }
+        // QoS: an already-dead request is shed before it takes a queue
+        // slot, costs a fingerprint, or wakes the dispatcher.
+        if request.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.counters.rejected.inc();
+            self.counters.deadline_rejected.inc();
+            return Err(SubmitError::DeadlineExpired);
+        }
 
         // The mutex guards only the sender clone; fingerprinting and
         // admission run outside it so concurrent clients don't serialize.
@@ -336,7 +361,12 @@ impl SpgemmService {
             guard.as_ref().ok_or(SubmitError::ShuttingDown)?.clone()
         };
 
-        let cap = self.config.queue_capacity;
+        // Low-priority traffic is capped at the watermark (when set), so
+        // the slots above it stay reserved for high-priority requests.
+        let cap = match (request.priority, self.config.low_priority_watermark) {
+            (crate::Priority::Low, Some(mark)) => mark.min(self.config.queue_capacity),
+            _ => self.config.queue_capacity,
+        };
         let admitted = self
             .in_flight
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1));
@@ -365,6 +395,8 @@ impl SpgemmService {
             lhs: request.lhs,
             rhs: request.rhs,
             plan: request.plan,
+            deadline: request.deadline,
+            priority: request.priority,
             fingerprint: fp,
             submitted: now,
             received: now,
@@ -396,6 +428,8 @@ impl SpgemmService {
         ServiceStats {
             submitted: self.counters.submitted.get(),
             rejected: self.counters.rejected.get(),
+            deadline_rejected: self.counters.deadline_rejected.get(),
+            deadline_dropped: self.counters.deadline_dropped.get(),
             completed,
             elapsed_seconds: elapsed,
             throughput_rps: completed as f64 / elapsed.max(1e-9),
@@ -691,6 +725,89 @@ mod tests {
         assert!(t.wait().is_ok());
         let stats = service.shutdown();
         assert_eq!((stats.submitted, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_taking_a_slot() {
+        let a = arc(gen::grid::poisson2d(8, 8));
+        let service = SpgemmService::new(ServiceConfig::default());
+        let dead = Instant::now() - Duration::from_millis(1);
+        let err = service
+            .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_deadline_at(dead))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::DeadlineExpired);
+        assert_eq!(service.in_flight(), 0, "shed request must not hold a queue slot");
+        // A generous deadline sails through and is served normally.
+        let t = service
+            .submit(
+                MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))
+                    .with_deadline_in(Duration::from_secs(300)),
+            )
+            .unwrap();
+        let resp = t.wait().unwrap();
+        let slack = resp.report.deadline_slack_seconds.expect("deadline was set");
+        assert!(slack > 0.0 && slack < 300.0, "slack {slack}");
+        let stats = service.shutdown();
+        assert_eq!((stats.rejected, stats.deadline_rejected, stats.completed), (1, 1, 1));
+        assert_eq!(stats.deadline_dropped, 0);
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter("requests_deadline_rejected"), Some(1));
+    }
+
+    #[test]
+    fn queued_request_whose_deadline_passes_is_dropped_by_the_worker() {
+        let a = arc(gen::grid::poisson2d(8, 8));
+        // A 60 s window means submissions sit in the dispatcher until the
+        // shutdown flush — deterministically long enough for a short
+        // deadline to expire while queued.
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            batch_window: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let doomed = service
+            .submit(
+                MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))
+                    .with_deadline_in(Duration::from_millis(20)),
+            )
+            .unwrap();
+        let healthy = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let stats = service.shutdown();
+        assert_eq!(doomed.wait().unwrap_err(), crate::ServiceError::Disconnected);
+        assert!(healthy.wait().is_ok(), "undeadlined companion still serves");
+        assert_eq!((stats.deadline_dropped, stats.completed), (1, 1));
+        assert_eq!(service.in_flight(), 0, "dropped request released its slot");
+    }
+
+    #[test]
+    fn low_priority_is_shed_at_the_watermark() {
+        let a = arc(gen::grid::poisson2d(8, 8));
+        // Capacity 4, watermark 1: with one request parked in the
+        // dispatcher (60 s window), low-priority traffic is at its cap
+        // while high-priority still has three slots.
+        let service = SpgemmService::new(ServiceConfig {
+            shards: 1,
+            queue_capacity: 4,
+            low_priority_watermark: Some(1),
+            batch_window: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let parked = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        let err = service
+            .submit(
+                MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))
+                    .with_priority(crate::Priority::Low),
+            )
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Full, "low priority sheds at the watermark");
+        let high = service.submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        let stats = service.shutdown();
+        assert!(parked.wait().is_ok());
+        let resp = high.wait().unwrap();
+        assert_eq!(resp.report.priority, crate::Priority::High);
+        assert_eq!((stats.rejected, stats.completed), (1, 2));
+        assert_eq!(stats.deadline_rejected, 0, "watermark shed is not a deadline shed");
     }
 
     #[test]

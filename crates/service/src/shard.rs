@@ -51,6 +51,11 @@ pub(crate) struct Submission {
     pub(crate) lhs: Arc<CsrMatrix>,
     pub(crate) rhs: Arc<CsrMatrix>,
     pub(crate) plan: Option<Plan>,
+    /// Expiry instant; a worker pulling an already-expired submission
+    /// drops it with [`ServiceError::DeadlineExceeded`] instead of
+    /// executing dead work.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) priority: crate::Priority,
     pub(crate) fingerprint: MatrixFingerprint,
     pub(crate) submitted: Instant,
     /// When the dispatcher pulled it off the submission queue (stamped by
@@ -123,6 +128,9 @@ pub(crate) struct WorkerCtx {
     pub(crate) obs: ShardObs,
     pub(crate) reservoir: Arc<Mutex<LatencyReservoir>>,
     pub(crate) completed: Arc<Counter>,
+    /// Accepted requests dropped at the worker because their deadline
+    /// passed while they queued.
+    pub(crate) deadline_dropped: Arc<Counter>,
     pub(crate) tracer: Arc<Tracer>,
     pub(crate) latency_seconds: Arc<LogHistogram>,
     pub(crate) queue_seconds: Arc<LogHistogram>,
@@ -153,6 +161,16 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
         let mut head: Option<(Arc<CsrMatrix>, Option<PlanKnobs>, Arc<PreparedMatrix>)> = None;
         for sub in batch.items {
             let started = Instant::now();
+            // The deadline already gated admission; here it gates
+            // execution — a request that died waiting in the queue is
+            // dropped before any trace, cache, or kernel work happens.
+            // Dropping `sub` hangs up its response channel (the ticket
+            // resolves `ServiceError::Disconnected`) and the SlotGuard
+            // frees the queue slot.
+            if sub.deadline.is_some_and(|d| started >= d) {
+                ctx.deadline_dropped.inc();
+                continue;
+            }
             let queue_seconds = started.saturating_duration_since(sub.submitted).as_secs_f64();
             ctx.tracer.begin_trace(sub.id);
             if ctx.tracer.enabled() {
@@ -215,6 +233,14 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
                 latency_seconds,
                 cache_hit: execution.cache_hit,
                 backend: execution.backend,
+                priority: sub.priority,
+                deadline_slack_seconds: sub.deadline.map(|d| {
+                    let now = Instant::now();
+                    match d.checked_duration_since(now) {
+                        Some(left) => left.as_secs_f64(),
+                        None => -now.saturating_duration_since(d).as_secs_f64(),
+                    }
+                }),
                 execution,
             };
             // Root span from submission to now: it closes *after* the

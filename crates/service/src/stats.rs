@@ -167,8 +167,16 @@ pub struct ShardStats {
 pub struct ServiceStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
-    /// Requests rejected with [`crate::SubmitError::Full`].
+    /// Requests rejected at submission ([`crate::SubmitError::Full`] or
+    /// [`crate::SubmitError::DeadlineExpired`]).
     pub rejected: u64,
+    /// Rejections whose cause was an already-expired deadline (a subset
+    /// of `rejected`).
+    pub deadline_rejected: u64,
+    /// Accepted requests a worker dropped with
+    /// [`crate::ServiceError::Disconnected`] because their deadline
+    /// passed while they queued.
+    pub deadline_dropped: u64,
     /// Requests fully served.
     pub completed: u64,
     /// Seconds since the service started.
@@ -363,6 +371,8 @@ mod tests {
         let stats = ServiceStats {
             submitted: 20,
             rejected: 2,
+            deadline_rejected: 1,
+            deadline_dropped: 0,
             completed: 20,
             elapsed_seconds: 2.0,
             throughput_rps: 10.0,

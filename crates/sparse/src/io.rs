@@ -1,11 +1,19 @@
-//! Matrix Market (`.mtx`) reading and writing.
+//! Matrix I/O: Matrix Market (`.mtx`) text and the `CSRB` binary codec.
 //!
-//! Supports the `matrix coordinate {real,integer,pattern} {general,symmetric,
-//! skew-symmetric}` subset, which covers the SuiteSparse matrices the paper
-//! evaluates. Symmetric inputs are expanded to general storage on read (both
-//! triangles materialized), matching what the SpGEMM kernels expect.
+//! The Matrix Market reader supports the `matrix coordinate
+//! {real,integer,pattern} {general,symmetric,skew-symmetric}` subset, which
+//! covers the SuiteSparse matrices the paper evaluates. Symmetric inputs are
+//! expanded to general storage on read (both triangles materialized),
+//! matching what the SpGEMM kernels expect.
+//!
+//! The binary codec ([`encode_csr`]/[`decode_csr`]) is the *byte-exact*
+//! interchange format shared by the `cw-net` wire frames and future
+//! out-of-core panel files: little-endian, versioned, self-delimiting, and
+//! value-preserving down to the f64 bit pattern (NaN payloads and `-0.0`
+//! survive a round trip, unlike the decimal `.mtx` path).
 
-use crate::{CooMatrix, CsrMatrix, SparseError};
+use crate::{ColIdx, CooMatrix, CsrMatrix, SparseError, Value};
+use std::fmt;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -150,6 +158,183 @@ pub fn write_matrix_market_path(a: &CsrMatrix, path: &Path) -> std::io::Result<(
     write_matrix_market(a, std::fs::File::create(path)?)
 }
 
+// ---------------------------------------------------------------------------
+// CSRB binary codec
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every binary CSR blob.
+pub const CSR_BINARY_MAGIC: [u8; 4] = *b"CSRB";
+
+/// Schema version emitted by [`encode_csr`]; decoders reject anything newer.
+pub const CSR_BINARY_VERSION: u16 = 1;
+
+/// Fixed-size prefix: magic(4) + version(2) + reserved(2) + nrows(8) +
+/// ncols(8) + nnz(8).
+pub const CSR_BINARY_HEADER_BYTES: usize = 32;
+
+/// Errors produced while decoding a `CSRB` blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrCodecError {
+    /// The first four bytes were not `b"CSRB"`.
+    BadMagic,
+    /// The schema version is newer than this decoder understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the encoded length was satisfied.
+    Truncated {
+        /// Bytes the blob claims to need (header + arrays).
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// [`decode_csr_exact`] found bytes past the end of the blob.
+    TrailingBytes(usize),
+    /// A declared dimension or nnz does not fit in `usize`, or the implied
+    /// byte length overflows. Oversized payloads land here instead of
+    /// triggering a huge allocation.
+    LengthOverflow,
+    /// The arrays decoded cleanly but do not form a valid CSR matrix
+    /// (row_ptr not monotone, column index out of range, ...).
+    Invalid(SparseError),
+}
+
+impl fmt::Display for CsrCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrCodecError::BadMagic => write!(f, "bad magic: expected CSRB"),
+            CsrCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported CSRB version {v} (max {CSR_BINARY_VERSION})")
+            }
+            CsrCodecError::Truncated { needed, have } => {
+                write!(f, "truncated CSRB blob: need {needed} bytes, have {have}")
+            }
+            CsrCodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after CSRB blob")
+            }
+            CsrCodecError::LengthOverflow => {
+                write!(f, "CSRB dimensions overflow addressable length")
+            }
+            CsrCodecError::Invalid(e) => write!(f, "decoded CSR is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsrCodecError {}
+
+impl From<SparseError> for CsrCodecError {
+    fn from(e: SparseError) -> Self {
+        CsrCodecError::Invalid(e)
+    }
+}
+
+/// Exact byte length of the `CSRB` encoding of `a`.
+pub fn encoded_csr_len(a: &CsrMatrix) -> usize {
+    CSR_BINARY_HEADER_BYTES + (a.nrows + 1) * 8 + a.nnz() * 4 + a.nnz() * 8
+}
+
+/// Encodes a matrix as a self-delimiting little-endian `CSRB` blob.
+///
+/// Layout: `magic "CSRB" | version u16 | reserved u16 | nrows u64 | ncols
+/// u64 | nnz u64 | row_ptr (nrows+1)×u64 | col_idx nnz×u32 | values
+/// nnz×f64`. Values are stored via [`f64::to_bits`], so the round trip is
+/// bit-exact (NaN payloads and `-0.0` included).
+pub fn encode_csr(a: &CsrMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_csr_len(a));
+    encode_csr_into(&mut out, a);
+    out
+}
+
+/// Appends the `CSRB` encoding of `a` to `out` (see [`encode_csr`]).
+pub fn encode_csr_into(out: &mut Vec<u8>, a: &CsrMatrix) {
+    out.reserve(encoded_csr_len(a));
+    out.extend_from_slice(&CSR_BINARY_MAGIC);
+    out.extend_from_slice(&CSR_BINARY_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(a.nrows as u64).to_le_bytes());
+    out.extend_from_slice(&(a.ncols as u64).to_le_bytes());
+    out.extend_from_slice(&(a.nnz() as u64).to_le_bytes());
+    for &p in &a.row_ptr {
+        out.extend_from_slice(&(p as u64).to_le_bytes());
+    }
+    for &c in &a.col_idx {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    for &v in &a.vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+/// Decodes one `CSRB` blob from the front of `buf`.
+///
+/// Returns the matrix and the number of bytes consumed, so callers can pack
+/// several blobs back to back (the `cw-net` SUBMIT payload does exactly
+/// that). Fails with a typed [`CsrCodecError`] on truncated, oversized, or
+/// structurally invalid input; the decoded matrix is re-validated through
+/// [`CsrMatrix::from_parts`].
+pub fn decode_csr(buf: &[u8]) -> Result<(CsrMatrix, usize), CsrCodecError> {
+    if buf.len() < CSR_BINARY_HEADER_BYTES {
+        return Err(CsrCodecError::Truncated { needed: CSR_BINARY_HEADER_BYTES, have: buf.len() });
+    }
+    if buf[0..4] != CSR_BINARY_MAGIC {
+        return Err(CsrCodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    if version == 0 || version > CSR_BINARY_VERSION {
+        return Err(CsrCodecError::UnsupportedVersion(version));
+    }
+    let nrows64 = read_u64(buf, 8);
+    let ncols64 = read_u64(buf, 16);
+    let nnz64 = read_u64(buf, 24);
+    let (nrows, ncols, nnz) =
+        match (usize::try_from(nrows64), usize::try_from(ncols64), usize::try_from(nnz64)) {
+            (Ok(r), Ok(c), Ok(z)) => (r, c, z),
+            _ => return Err(CsrCodecError::LengthOverflow),
+        };
+    // Total length via checked arithmetic: a hostile header must not be able
+    // to overflow into a small allocation or a giant one.
+    let body = nrows
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .and_then(|b| nnz.checked_mul(4).and_then(|x| b.checked_add(x)))
+        .and_then(|b| nnz.checked_mul(8).and_then(|x| b.checked_add(x)))
+        .and_then(|b| b.checked_add(CSR_BINARY_HEADER_BYTES))
+        .ok_or(CsrCodecError::LengthOverflow)?;
+    if buf.len() < body {
+        return Err(CsrCodecError::Truncated { needed: body, have: buf.len() });
+    }
+    let mut at = CSR_BINARY_HEADER_BYTES;
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..=nrows {
+        let p = read_u64(buf, at);
+        at += 8;
+        row_ptr.push(usize::try_from(p).map_err(|_| CsrCodecError::LengthOverflow)?);
+    }
+    let mut col_idx: Vec<ColIdx> = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_idx.push(ColIdx::from_le_bytes(buf[at..at + 4].try_into().unwrap()));
+        at += 4;
+    }
+    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        vals.push(Value::from_bits(read_u64(buf, at)));
+        at += 8;
+    }
+    let m = CsrMatrix::from_parts(nrows, ncols, row_ptr, col_idx, vals)?;
+    Ok((m, at))
+}
+
+/// Like [`decode_csr`] but requires the blob to span the whole buffer.
+pub fn decode_csr_exact(buf: &[u8]) -> Result<CsrMatrix, CsrCodecError> {
+    let (m, used) = decode_csr(buf)?;
+    if used != buf.len() {
+        return Err(CsrCodecError::TrailingBytes(buf.len() - used));
+    }
+    Ok(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +412,105 @@ mod tests {
     fn rejects_truncated_file() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
         assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    // --- CSRB binary codec ---
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_row_lists(
+            4,
+            vec![vec![(0, 1.25), (3, -2.5)], vec![], vec![(2, 1e-10)], vec![(1, 7.0)]],
+        )
+    }
+
+    #[test]
+    fn csrb_round_trip_bit_exact() {
+        let a = sample();
+        let blob = encode_csr(&a);
+        assert_eq!(blob.len(), encoded_csr_len(&a));
+        let b = decode_csr_exact(&blob).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csrb_preserves_nan_and_negative_zero() {
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![nan, -0.0]).unwrap();
+        let b = decode_csr_exact(&encode_csr(&a)).unwrap();
+        assert_eq!(b.vals[0].to_bits(), nan.to_bits());
+        assert_eq!(b.vals[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn csrb_empty_matrix() {
+        let a = CsrMatrix::zeros(0, 0);
+        let b = decode_csr_exact(&encode_csr(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csrb_concatenated_blobs_self_delimit() {
+        let a = sample();
+        let b = CsrMatrix::identity(3);
+        let mut blob = encode_csr(&a);
+        encode_csr_into(&mut blob, &b);
+        let (a2, used) = decode_csr(&blob).unwrap();
+        let (b2, used2) = decode_csr(&blob[used..]).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+        assert_eq!(used + used2, blob.len());
+    }
+
+    #[test]
+    fn csrb_rejects_bad_magic() {
+        let mut blob = encode_csr(&sample());
+        blob[0] = b'X';
+        assert_eq!(decode_csr(&blob).unwrap_err(), CsrCodecError::BadMagic);
+    }
+
+    #[test]
+    fn csrb_rejects_future_version() {
+        let mut blob = encode_csr(&sample());
+        blob[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert_eq!(decode_csr(&blob).unwrap_err(), CsrCodecError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn csrb_rejects_truncation_at_every_length() {
+        let blob = encode_csr(&sample());
+        for cut in 0..blob.len() {
+            match decode_csr(&blob[..cut]) {
+                Err(CsrCodecError::Truncated { needed, have }) => {
+                    assert_eq!(have, cut);
+                    assert!(needed > cut);
+                }
+                other => panic!("cut={cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn csrb_rejects_trailing_bytes() {
+        let mut blob = encode_csr(&sample());
+        blob.push(0);
+        assert_eq!(decode_csr_exact(&blob).unwrap_err(), CsrCodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn csrb_rejects_oversized_header() {
+        // nnz = u64::MAX would overflow the implied byte length; the decoder
+        // must fail typed instead of attempting the allocation.
+        let mut blob = encode_csr(&CsrMatrix::zeros(1, 1));
+        blob[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_csr(&blob).unwrap_err(), CsrCodecError::LengthOverflow);
+    }
+
+    #[test]
+    fn csrb_rejects_invalid_structure() {
+        // Corrupt row_ptr[0] (must be 0) without changing any lengths.
+        let mut blob = encode_csr(&sample());
+        blob[CSR_BINARY_HEADER_BYTES..CSR_BINARY_HEADER_BYTES + 8]
+            .copy_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(decode_csr(&blob), Err(CsrCodecError::Invalid(_))));
     }
 }

@@ -1,0 +1,62 @@
+//! Property-based round-trip tests for the `CSRB` binary codec.
+
+use cw_sparse::io::{decode_csr, decode_csr_exact, encode_csr, CsrCodecError};
+use cw_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse rectangular matrix, including empty rows,
+/// duplicate-coordinate collapse, and values spanning several magnitudes.
+fn sparse_rect(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1usize..=max_dim, 1usize..=max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -1e6f64..1e6), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(nr, nc);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csrb_round_trip_is_identity(a in sparse_rect(24, 160)) {
+        let blob = encode_csr(&a);
+        let b = decode_csr_exact(&blob).unwrap();
+        // PartialEq on CsrMatrix compares vals with f64 ==; additionally
+        // assert bit patterns so -0.0 vs 0.0 differences cannot hide.
+        prop_assert_eq!(&a, &b);
+        for (x, y) in a.vals.iter().zip(b.vals.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn csrb_consumed_matches_blob_len(a in sparse_rect(16, 80)) {
+        let mut blob = encode_csr(&a);
+        let tail = [0xAAu8; 7];
+        blob.extend_from_slice(&tail);
+        let (b, used) = decode_csr(&blob).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(used, blob.len() - tail.len());
+    }
+
+    #[test]
+    fn csrb_any_truncation_is_typed(a in sparse_rect(12, 60), frac in 0.0f64..1.0) {
+        let blob = encode_csr(&a);
+        let cut = ((blob.len() as f64) * frac) as usize;
+        if cut < blob.len() {
+            match decode_csr(&blob[..cut]) {
+                Err(CsrCodecError::Truncated { needed, have }) => {
+                    prop_assert_eq!(have, cut);
+                    prop_assert!(needed > cut);
+                }
+                other => prop_assert!(false, "expected Truncated, got {:?}", other),
+            }
+        }
+    }
+}

@@ -19,6 +19,17 @@
 //!   locking), and answers every request with a `ServiceReport` (queue
 //!   wait, batch size, cache outcome, calibration state, per-stage
 //!   timings) plus service-wide throughput and p50/p99 latency stats.
+//! * [`net`] — **the wire-protocol serving layer**: a `CWNP` binary frame
+//!   protocol (28-byte versioned header + bit-exact `CSRB` operand blobs),
+//!   a `NetServer` TCP front-end over `SpgemmService` with a bounded
+//!   thread-per-connection acceptor and graceful drain (`cw-serve`
+//!   binary), a blocking `NetClient` with reconnect/backoff, a
+//!   `RoutedClient` that consistent-hashes each lhs fingerprint over N
+//!   endpoints (the same `shard_index` hash the service uses in-process),
+//!   and QoS admission control — per-request deadlines and two-level
+//!   priority carried in the frame header, expired requests shed *before*
+//!   they take a queue slot, all surfaced as `net.*` metrics through the
+//!   service's JSONL exporter.
 //! * [`obs`] — **the observability substrate**: dependency-free structured
 //!   tracing (thread-local span stacks, RAII guards, a disabled cost of
 //!   one atomic load), a mergeable metrics registry (counters, gauges,
@@ -162,6 +173,29 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 //!
+//! ## Quickstart: serving over the wire
+//!
+//! To serve across processes (or machines), put a `NetServer` in front of
+//! the service and talk to it with a `NetClient` — the product travels as
+//! bit-exact `CSRB` blobs, so the wire answer is bit-identical to a direct
+//! in-process multiply (see `examples/net_roundtrip.rs` for the full tour,
+//! including client-side sharding and QoS deadlines):
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//!
+//! let a = clusterwise_spgemm::sparse::gen::grid::poisson2d(10, 10);
+//! let service = SpgemmService::new(ServiceConfig::default());
+//! let server = NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default()).unwrap();
+//!
+//! let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+//! let resp = client.multiply(&a, &a).unwrap();
+//! assert!(resp.product.numerically_eq(&spgemm(&a, &a), 1e-9));
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+//!
 //! ## Quickstart: observability
 //!
 //! Flip `ServiceConfig::tracing` on and every request leaves a structured
@@ -207,6 +241,7 @@ pub use cw_cachesim as cachesim;
 pub use cw_core as core;
 pub use cw_datasets as datasets;
 pub use cw_engine as engine;
+pub use cw_net as net;
 pub use cw_obs as obs;
 pub use cw_partition as partition;
 pub use cw_reorder as reorder;
@@ -225,9 +260,13 @@ pub mod prelude {
         ClusteringStrategy, CostModel, Engine, ExecutionBackend, ExecutionReport, FeedbackStore,
         KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
     };
+    pub use cw_net::{
+        ClientConfig, NetClient, NetError, NetServer, NetServerConfig, Qos, RoutedClient,
+        WireResponse,
+    };
     pub use cw_obs::{FlightRecorder, LogHistogram, MetricsRegistry, Tracer};
     pub use cw_reorder::Reordering;
-    pub use cw_service::{MultiplyRequest, ServiceConfig, ServiceReport, SpgemmService};
+    pub use cw_service::{MultiplyRequest, Priority, ServiceConfig, ServiceReport, SpgemmService};
     pub use cw_sparse::{fingerprint, CooMatrix, CscMatrix, CsrMatrix, Permutation};
     pub use cw_spgemm::{spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions};
 }
