@@ -1,0 +1,232 @@
+//! `linkcheck` — fail the build on broken relative markdown links.
+//!
+//! ```text
+//! linkcheck <file-or-dir>...
+//! ```
+//!
+//! Walks every `.md` file named (directories are scanned one level deep),
+//! extracts inline links (`[text](target)`) and reference definitions
+//! (`[ref]: target`), and verifies that every **relative** target resolves
+//! from the file that links it. Fragments are checked too: `other.md#some-
+//! heading` must name a heading whose GitHub-style anchor slug matches,
+//! and so must same-file `#fragment` links. Absolute URLs (`http://`,
+//! `https://`, `mailto:`) are skipped — this tool runs offline and gates
+//! only what the repo itself can break. Links inside fenced code blocks
+//! and inline code spans are ignored.
+//!
+//! Exit status: 0 when every link resolves, 1 otherwise (one line per
+//! broken link on stderr). CI runs it over `README.md` and `docs/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: linkcheck <file-or-dir>...");
+        return ExitCode::FAILURE;
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = match fs::read_dir(&path) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|e| e == "md"))
+                    .collect(),
+                Err(err) => {
+                    eprintln!("linkcheck: cannot read {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path);
+        }
+    }
+
+    let mut broken = 0usize;
+    for file in &files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("linkcheck: cannot read {}: {err}", file.display());
+                broken += 1;
+                continue;
+            }
+        };
+        let prose = strip_code(&text);
+        for link in extract_links(&prose) {
+            if let Some(reason) = check_link(file, &prose, &link) {
+                eprintln!("{}: broken link `{link}`: {reason}", file.display());
+                broken += 1;
+            }
+        }
+    }
+    if broken > 0 {
+        eprintln!("linkcheck: {broken} broken link(s) across {} file(s)", files.len());
+        ExitCode::FAILURE
+    } else {
+        println!("linkcheck: {} file(s) clean", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Blanks out fenced code blocks and inline code spans (preserving line
+/// structure, so heading extraction still sees the right lines).
+fn strip_code(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if in_fence {
+            out.push('\n');
+            continue;
+        }
+        // Inline code: drop the odd-indexed segments of a backtick split.
+        for (i, seg) in line.split('`').enumerate() {
+            if i % 2 == 0 {
+                out.push_str(seg);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Inline `[text](target)` links plus `[ref]: target` definitions.
+fn extract_links(prose: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let bytes = prose.as_bytes();
+    let mut i = 0;
+    while let Some(open) = prose[i..].find("](").map(|p| p + i) {
+        let start = open + 2;
+        if let Some(close) = prose[start..].find(')').map(|p| p + start) {
+            let target = prose[start..close].trim();
+            // `[text](target "title")` — drop the optional title.
+            let target = target.split_whitespace().next().unwrap_or("");
+            if !target.is_empty() {
+                links.push(target.to_string());
+            }
+            i = close + 1;
+        } else {
+            break;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    for line in prose.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(end) = rest.find("]:") {
+                if let Some(target) = rest[end + 2..].split_whitespace().next() {
+                    links.push(target.to_string());
+                }
+            }
+        }
+    }
+    links
+}
+
+/// `None` when the link resolves; otherwise why it doesn't.
+fn check_link(file: &Path, prose: &str, link: &str) -> Option<String> {
+    if link.starts_with("http://")
+        || link.starts_with("https://")
+        || link.starts_with("mailto:")
+        || link.starts_with("<")
+    {
+        return None;
+    }
+    let (path_part, fragment) = match link.split_once('#') {
+        Some((p, f)) => (p, Some(f)),
+        None => (link, None),
+    };
+    let target = if path_part.is_empty() {
+        file.to_path_buf()
+    } else {
+        let base = file.parent().unwrap_or(Path::new("."));
+        base.join(path_part)
+    };
+    if !target.exists() {
+        return Some(format!("{} does not exist", target.display()));
+    }
+    if let Some(frag) = fragment {
+        if target.extension().is_some_and(|e| e == "md") {
+            let text = if path_part.is_empty() {
+                prose.to_string()
+            } else {
+                strip_code(&fs::read_to_string(&target).ok()?)
+            };
+            let anchors = heading_anchors(&text);
+            if !anchors.iter().any(|a| a == frag) {
+                return Some(format!("no heading with anchor `#{frag}` in {}", target.display()));
+            }
+        }
+    }
+    None
+}
+
+/// GitHub-style anchor slugs for every ATX heading: lowercase, punctuation
+/// dropped, spaces to hyphens, duplicates suffixed `-1`, `-2`, ….
+fn heading_anchors(prose: &str) -> Vec<String> {
+    let mut slugs: Vec<String> = Vec::new();
+    for line in prose.lines() {
+        let trimmed = line.trim_start();
+        let level = trimmed.bytes().take_while(|&b| b == b'#').count();
+        if !(1..=6).contains(&level) || !trimmed[level..].starts_with(' ') {
+            continue;
+        }
+        let title = unlink(trimmed[level..].trim());
+        let mut slug = String::new();
+        for ch in title.chars() {
+            if ch.is_alphanumeric() {
+                slug.extend(ch.to_lowercase());
+            } else if ch == ' ' || ch == '-' || ch == '_' {
+                slug.push(if ch == ' ' { '-' } else { ch });
+            }
+        }
+        let dups =
+            slugs.iter().filter(|s| **s == slug || s.starts_with(&format!("{slug}-"))).count();
+        if slugs.contains(&slug) {
+            slug = format!("{slug}-{dups}");
+        }
+        slugs.push(slug);
+    }
+    slugs
+}
+
+/// `[text](url)` → `text`, so link markup inside a heading doesn't leak
+/// URL characters into its anchor slug.
+fn unlink(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(open) = rest.find('[') {
+        out.push_str(&rest[..open]);
+        match rest[open..].find("](").map(|p| p + open) {
+            Some(mid) => {
+                out.push_str(&rest[open + 1..mid]);
+                match rest[mid..].find(')').map(|p| p + mid) {
+                    Some(close) => rest = &rest[close + 1..],
+                    None => {
+                        rest = "";
+                    }
+                }
+            }
+            None => {
+                out.push_str(&rest[open..]);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}

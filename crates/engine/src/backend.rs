@@ -34,7 +34,7 @@
 //! keys preparations by `(fingerprint, knobs, backend)` and the
 //! [`crate::FeedbackStore`] learns per-backend timings.
 
-use crate::plan::{ClusteringStrategy, KernelChoice, Plan};
+use crate::plan::{ClusteringStrategy, KernelChoice, OutputShape, Plan};
 use crate::prepared::PrepTimings;
 use cw_core::{
     fixed_clustering, hierarchical_clustering, variable_clustering, ClusterConfig, CsrCluster,
@@ -221,6 +221,55 @@ pub trait ExecutionBackend: fmt::Debug + Send + Sync {
     ) -> (Arc<dyn BackendPayload>, Option<Permutation>, PrepTimings);
     /// `C = payload · b` in internal row order.
     fn execute(&self, payload: &dyn BackendPayload, plan: &Plan, b: &CsrMatrix) -> CsrMatrix;
+
+    /// `C = payload · b` shaped by [`Plan::shape`], in internal row order.
+    ///
+    /// `mask` must be `Some` exactly when the plan's shape is
+    /// [`OutputShape::Masked`], with its rows already in the payload's
+    /// *internal* (post-reordering) row order —
+    /// [`crate::PreparedMatrix::multiply_shaped`] handles that permutation,
+    /// so backends never deal with it.
+    ///
+    /// The default implementation computes the full product with
+    /// [`ExecutionBackend::execute`] and applies the row-local shape
+    /// transform via [`apply_output_shape`]; both transforms commute with
+    /// row permutation, so every backend inheriting this default is
+    /// bit-identical to the serial reference per shape. Backends with
+    /// genuinely truncated kernels (e.g. a future masked SpGEMM that
+    /// skips non-mask columns) may override it, as long as they preserve
+    /// bit-identity with the default.
+    fn execute_shaped(
+        &self,
+        payload: &dyn BackendPayload,
+        plan: &Plan,
+        b: &CsrMatrix,
+        mask: Option<&CsrMatrix>,
+    ) -> CsrMatrix {
+        apply_output_shape(self.execute(payload, plan, b), plan.shape, mask)
+    }
+}
+
+/// Applies an [`OutputShape`] to a computed product: the identity for
+/// `Full`, [`cw_spgemm::row_topk`] for `TopK`, and
+/// [`cw_spgemm::apply_mask`] for `Masked`.
+///
+/// Row-local by construction, so it may be applied in any row order as
+/// long as `mask` rows align with `c` rows.
+///
+/// # Panics
+///
+/// Panics if the shape is [`OutputShape::Masked`] and `mask` is `None`
+/// (the mask is request data the caller must supply), or if the mask's
+/// dimensions do not match `c`'s.
+pub fn apply_output_shape(c: CsrMatrix, shape: OutputShape, mask: Option<&CsrMatrix>) -> CsrMatrix {
+    match shape {
+        OutputShape::Full => c,
+        OutputShape::TopK(k) => cw_spgemm::row_topk(&c, k),
+        OutputShape::Masked => {
+            let mask = mask.expect("masked plan executed without a mask operand");
+            cw_spgemm::apply_mask(&c, mask)
+        }
+    }
 }
 
 /// The shared CPU operand representation: plain CSR for row-wise plans,

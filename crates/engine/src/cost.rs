@@ -29,7 +29,7 @@
 //! microsecond scales timing noise swamps any real plan difference.
 
 use crate::backend::BackendCaps;
-use crate::plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};
+use crate::plan::{ClusteringStrategy, KernelChoice, OutputShape, Plan, PlanKnobs};
 use cw_reorder::advisor::Profile;
 use cw_reorder::Reordering;
 use cw_sparse::{CsrMatrix, MatrixFingerprint};
@@ -58,6 +58,20 @@ pub const CALIBRATION_CLAMP: (f64, f64) = (0.5, 2.0);
 /// [`MIN_OBSERVATIONS_TO_SWITCH`] and the feedback loop could never
 /// switch at all. Shorter requested half-lives are clamped up.
 pub const MIN_OBSERVATION_HALF_LIFE: u64 = 4;
+
+/// Assumed surviving-output fraction of a masked multiply
+/// ([`OutputShape::Masked`]): the mask's density is unknown at plan time
+/// (the mask is request data, not plan data), so the model prices masked
+/// kernels at this fixed fraction of the full-product kernel cost. The
+/// [`FeedbackStore`] corrects it per operand from observed shaped
+/// executions — shaped candidates have their own knobs, so the
+/// correction never bleeds into full-product pricing.
+pub const MASKED_SURVIVING_FRACTION: f64 = 0.25;
+
+/// Floor on the surviving-output fraction of a top-k multiply: even
+/// `k = 0` keeps some per-row walk cost, and pricing a kernel at zero
+/// would make every truncated plan spuriously free.
+pub const MIN_TOPK_SURVIVING_FRACTION: f64 = 0.05;
 
 /// Observation weight below which a decayed candidate is priced as
 /// *untried* again (calibrated prediction + prep surcharge): its stale
@@ -318,6 +332,12 @@ impl CostModel {
                 kernel *= 1.0 - self.blocking_gain.clamp(0.0, 0.95);
             }
         }
+        // Truncated output shapes shrink the *kernel* term only — prep is
+        // untouched, so the paper's §4.5 amortization argument gets
+        // strictly stronger for masked/top-k traffic: the same one-off
+        // reorder/cluster cost amortizes against cheaper multiplies,
+        // letting the planner justify heavier prep sooner.
+        kernel *= self.surviving_fraction(f, plan.shape);
 
         // Preprocessing: permutation computation + cluster construction.
         let mut prep = match plan.reorder {
@@ -337,6 +357,26 @@ impl CostModel {
         };
 
         CostEstimate { prep_seconds: prep, kernel_seconds: kernel }
+    }
+
+    /// Estimated fraction of full-product kernel work a shaped multiply
+    /// performs. `Full` is `1`; `Masked` is the fixed
+    /// [`MASKED_SURVIVING_FRACTION`] (mask density is unknown at plan
+    /// time); `TopK(k)` compares `k` against the estimated output row
+    /// width (`madds / nrows`, the upper bound the FLOP analysis gives),
+    /// floored at [`MIN_TOPK_SURVIVING_FRACTION`].
+    pub fn surviving_fraction(&self, f: &OperandFeatures, shape: OutputShape) -> f64 {
+        match shape {
+            OutputShape::Full => 1.0,
+            OutputShape::Masked => MASKED_SURVIVING_FRACTION,
+            OutputShape::TopK(k) => {
+                let est_row_width = f.estimated_madds() / f.nrows.max(1) as f64;
+                if est_row_width <= 0.0 {
+                    return 1.0;
+                }
+                (k as f64 / est_row_width).clamp(MIN_TOPK_SURVIVING_FRACTION, 1.0)
+            }
+        }
     }
 }
 
@@ -409,13 +449,27 @@ pub struct OperandKey {
     pub fingerprint: MatrixFingerprint,
     /// Full-content checksum ([`cw_sparse::checksum`]).
     pub checksum: u64,
+    /// Output shape the feedback entry tracks. Shaped traffic learns
+    /// separately — a top-k multiply's observed kernel seconds must never
+    /// demote or promote the full product's plan (and vice versa), since
+    /// they do genuinely different amounts of work.
+    pub shape: OutputShape,
 }
 
 impl OperandKey {
     /// Computes both identity components of `a` (`O(nnz)`, dominated by
-    /// the checksum pass).
+    /// the checksum pass) for full-product traffic.
     pub fn of(a: &CsrMatrix) -> OperandKey {
-        OperandKey { fingerprint: cw_sparse::fingerprint(a), checksum: cw_sparse::checksum(a) }
+        OperandKey::shaped(a, OutputShape::Full)
+    }
+
+    /// Like [`OperandKey::of`] but keyed to a specific output shape.
+    pub fn shaped(a: &CsrMatrix, shape: OutputShape) -> OperandKey {
+        OperandKey {
+            fingerprint: cw_sparse::fingerprint(a),
+            checksum: cw_sparse::checksum(a),
+            shape,
+        }
     }
 }
 

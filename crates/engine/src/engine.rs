@@ -3,7 +3,7 @@
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::cost::{FeedbackStore, OperandKey, PlanFeedbackState};
-use crate::plan::{Plan, PlanKnobs};
+use crate::plan::{OutputShape, Plan, PlanKnobs};
 use crate::planner::Planner;
 use crate::prepared::PreparedMatrix;
 use crate::report::{ExecutionReport, StageTimings};
@@ -145,7 +145,7 @@ impl Engine {
     /// Fingerprints `a` and returns its cached or freshly prepared operand
     /// (planning on miss). Useful for warming the cache ahead of traffic.
     pub fn prepare(&mut self, a: &CsrMatrix) -> Arc<PreparedMatrix> {
-        self.lookup_or_prepare(a, None).0
+        self.lookup_or_prepare(a, None, OutputShape::Full).0
     }
 
     /// [`Engine::multiply`]/[`Engine::multiply_planned`] without the
@@ -160,7 +160,23 @@ impl Engine {
         a: &CsrMatrix,
         forced: Option<Plan>,
     ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
-        self.lookup_or_prepare(a, forced)
+        self.lookup_or_prepare(a, forced, OutputShape::Full)
+    }
+
+    /// [`Engine::prepare_with`] for a non-[`OutputShape::Full`] request
+    /// shape: the planner ranks candidates with `shape` stamped into every
+    /// plan (so masked/top-k kernel cost is priced by estimated surviving
+    /// output), and the resulting cache entry and feedback state are keyed
+    /// by the shape — truncated traffic never collides with full-product
+    /// traffic on the same operand. A forced plan's own shape wins over
+    /// `shape` (a forced plan is a complete pipeline description).
+    pub fn prepare_with_shape(
+        &mut self,
+        a: &CsrMatrix,
+        forced: Option<Plan>,
+        shape: OutputShape,
+    ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
+        self.lookup_or_prepare(a, forced, shape)
     }
 
     /// `C = A · b` through the adaptive pipeline. Returns the product (rows
@@ -170,8 +186,59 @@ impl Engine {
     /// underperforming its prediction is demoted on later calls (see
     /// [`crate::FeedbackStore`]).
     pub fn multiply(&mut self, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, ExecutionReport) {
-        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None);
-        self.execute_prepared(&prepared, b, timings, cache_hit)
+        self.multiply_shaped(a, b, OutputShape::Full, None)
+    }
+
+    /// `C = shape(A · b)`: [`Engine::multiply`] with an explicit
+    /// [`OutputShape`]. `mask` must be `Some` exactly when `shape` is
+    /// [`OutputShape::Masked`] (the mask is request data — it travels with
+    /// the call, not with the cached preparation). Shaped requests get
+    /// their own plan ranking, cache entries, and feedback state; see
+    /// [`Engine::prepare_with_shape`].
+    ///
+    /// ```
+    /// use cw_engine::{Engine, OutputShape};
+    ///
+    /// let a = cw_sparse::gen::grid::poisson2d(10, 10);
+    /// let mut engine = Engine::default();
+    /// let (top2, report) = engine.multiply_shaped(&a, &a, OutputShape::TopK(2), None);
+    /// assert_eq!(report.plan.shape, OutputShape::TopK(2));
+    /// assert!((0..top2.nrows).all(|i| top2.row(i).0.len() <= 2));
+    /// ```
+    pub fn multiply_shaped(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        shape: OutputShape,
+        mask: Option<&CsrMatrix>,
+    ) -> (CsrMatrix, ExecutionReport) {
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None, shape);
+        self.execute_prepared_shaped(&prepared, b, mask, timings, cache_hit)
+    }
+
+    /// `C = topk(A · b, k)` — each output row truncated to its `k`
+    /// largest-magnitude entries (see [`cw_spgemm::row_topk`] for the
+    /// exact tie-breaking contract). Sugar for [`Engine::multiply_shaped`]
+    /// with [`OutputShape::TopK`].
+    pub fn multiply_topk(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        k: usize,
+    ) -> (CsrMatrix, ExecutionReport) {
+        self.multiply_shaped(a, b, OutputShape::TopK(k), None)
+    }
+
+    /// `C = (A · b) ∩ mask` — only product entries at positions present in
+    /// `mask`'s sparsity pattern survive (see [`cw_spgemm::apply_mask`]).
+    /// Sugar for [`Engine::multiply_shaped`] with [`OutputShape::Masked`].
+    pub fn multiply_masked(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        mask: &CsrMatrix,
+    ) -> (CsrMatrix, ExecutionReport) {
+        self.multiply_shaped(a, b, OutputShape::Masked, Some(mask))
     }
 
     /// Like [`Engine::multiply`] but with a caller-supplied plan instead of
@@ -191,7 +258,7 @@ impl Engine {
         b: &CsrMatrix,
         plan: Plan,
     ) -> (CsrMatrix, ExecutionReport) {
-        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, Some(plan));
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, Some(plan), plan.shape);
         self.execute_prepared(&prepared, b, timings, cache_hit)
     }
 
@@ -217,7 +284,24 @@ impl Engine {
         prep_timings: StageTimings,
         cache_hit: bool,
     ) -> (CsrMatrix, ExecutionReport) {
-        let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_timed(b);
+        self.execute_prepared_shaped(prepared, b, None, prep_timings, cache_hit)
+    }
+
+    /// [`Engine::execute_prepared`] with an explicit mask operand: the
+    /// execute/record/report tail for operands prepared under
+    /// [`OutputShape::Masked`] (pass the mask) or any other shape (pass
+    /// `None`). Observations land in the feedback state keyed by the
+    /// prepared plan's shape, so shaped and full traffic calibrate
+    /// independently.
+    pub fn execute_prepared_shaped(
+        &mut self,
+        prepared: &PreparedMatrix,
+        b: &CsrMatrix,
+        mask: Option<&CsrMatrix>,
+        prep_timings: StageTimings,
+        cache_hit: bool,
+    ) -> (CsrMatrix, ExecutionReport) {
+        let (c, kernel_seconds, postprocess_seconds) = prepared.multiply_shaped_timed(b, mask);
         if let Some(t) = self.tracer.as_deref() {
             // Retroactive spans from the measured stage durations: the end
             // of the postprocess span is "now", and the earlier boundaries
@@ -236,7 +320,11 @@ impl Engine {
         timings.postprocess_seconds = postprocess_seconds;
         let work_scale = (prepared.nnz().max(1) as f64 / b.nnz().max(1) as f64).clamp(0.1, 10.0);
         let feedback = self.record_observation(
-            OperandKey { fingerprint: prepared.fingerprint, checksum: prepared.checksum },
+            OperandKey {
+                fingerprint: prepared.fingerprint,
+                checksum: prepared.checksum,
+                shape: prepared.plan.shape,
+            },
             prepared.plan.knobs(),
             kernel_seconds * work_scale,
         );
@@ -271,7 +359,7 @@ impl Engine {
         if bs.is_empty() {
             return Vec::new();
         }
-        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None);
+        let (prepared, timings, cache_hit) = self.lookup_or_prepare(a, None, OutputShape::Full);
         bs.iter()
             .enumerate()
             .map(|(i, b)| {
@@ -324,13 +412,19 @@ impl Engine {
         &mut self,
         a: &CsrMatrix,
         forced: Option<Plan>,
+        shape: OutputShape,
     ) -> (Arc<PreparedMatrix>, StageTimings, bool) {
         let fp = fingerprint(a);
         let sum = checksum(a);
+        // A forced plan is a complete pipeline description — its own shape
+        // wins, so forced traffic and its feedback stay self-consistent.
+        let shape = forced.map_or(shape, |p| p.shape);
         // Feedback state is keyed by fingerprint *and* checksum, so a
         // sampled-fingerprint collision can never hand this operand
-        // another matrix's plan (or pollute its timing observations).
-        let operand = OperandKey { fingerprint: fp, checksum: sum };
+        // another matrix's plan (or pollute its timing observations). The
+        // requested output shape joins the key: full and truncated traffic
+        // on the same operand never share plans or observations.
+        let operand = OperandKey { fingerprint: fp, checksum: sum, shape };
         let mut plan_seconds = 0.0;
         let plan = match forced {
             Some(p) => p,
@@ -338,7 +432,7 @@ impl Engine {
                 Some(p) => p,
                 None => {
                     let t0 = Instant::now();
-                    let ranked = self.planner.plans_costed(a);
+                    let ranked = self.planner.plans_costed_shaped(a, shape);
                     let selected = ranked[0].plan;
                     self.feedback
                         .seed(operand, ranked.into_iter().map(|r| (r.plan, r.estimate)).collect());
@@ -612,6 +706,63 @@ mod tests {
         let _ = engine.multiply(&a, &a);
         assert!(tracer.ambient_spans().is_empty());
         assert!(tracer.flight_traces().is_empty());
+    }
+
+    #[test]
+    fn shaped_multiplies_match_postprocessed_oracle() {
+        let a = gen::mesh::tri_mesh(10, 10, true, 2);
+        let full = spgemm_serial(&a, &a);
+        let mut engine = Engine::default();
+
+        let (topk, rep) = engine.multiply_topk(&a, &a, 3);
+        assert!(topk.numerically_eq(&cw_spgemm::row_topk(&full, 3), 0.0));
+        assert_eq!(rep.plan.shape, crate::plan::OutputShape::TopK(3));
+
+        // Mask: the diagonal — keep only C[i,i].
+        let mask = CsrMatrix::identity(a.nrows);
+        let (masked, rep) = engine.multiply_masked(&a, &a, &mask);
+        assert!(masked.numerically_eq(&cw_spgemm::apply_mask(&full, &mask), 0.0));
+        assert_eq!(rep.plan.shape, crate::plan::OutputShape::Masked);
+        assert_eq!(rep.output_nnz, masked.nnz());
+    }
+
+    #[test]
+    fn output_shapes_never_collide_in_cache_or_feedback() {
+        let a = gen::grid::poisson2d(10, 10);
+        let mut engine = Engine::default();
+
+        // Three shapes over the same operand: each first call must miss
+        // (its own cache entry), each second call must hit its own entry.
+        let (full, r_full) = engine.multiply(&a, &a);
+        let (top2, r_top) = engine.multiply_topk(&a, &a, 2);
+        let mask = CsrMatrix::identity(a.nrows);
+        let (_, r_mask) = engine.multiply_masked(&a, &a, &mask);
+        assert!(!r_full.cache_hit && !r_top.cache_hit && !r_mask.cache_hit);
+        assert_eq!(engine.cached_operands(), 3);
+
+        let (full2, r_full2) = engine.multiply(&a, &a);
+        let (top2_again, r_top2) = engine.multiply_topk(&a, &a, 2);
+        let (_, r_mask2) = engine.multiply_masked(&a, &a, &mask);
+        assert!(r_full2.cache_hit && r_top2.cache_hit && r_mask2.cache_hit);
+        assert!(full.numerically_eq(&full2, 0.0));
+        assert!(top2.numerically_eq(&top2_again, 0.0));
+        // A different k is a different shape: its own entry, not a hit.
+        let (_, r_top3) = engine.multiply_topk(&a, &a, 3);
+        assert!(!r_top3.cache_hit);
+
+        // Feedback state is shape-keyed too: each shape accumulated only
+        // its own executions.
+        let sum = cw_sparse::checksum(&a);
+        let fp = cw_sparse::fingerprint(&a);
+        for shape in [
+            crate::plan::OutputShape::Full,
+            crate::plan::OutputShape::TopK(2),
+            crate::plan::OutputShape::Masked,
+        ] {
+            let key = OperandKey { fingerprint: fp, checksum: sum, shape };
+            let st = engine.feedback_state(&key).expect("each shape has its own feedback");
+            assert_eq!(st.executions, 2, "shape {shape:?} saw exactly its own traffic");
+        }
     }
 
     #[test]

@@ -60,6 +60,16 @@
 //! planning starts from this machine's measured constants instead of the
 //! hand-tuned defaults.
 //!
+//! The requested **output shape** — full product, masked by a sparsity
+//! pattern, or row-wise top-k ([`OutputShape`]) — is a first-class axis of
+//! all five stages: it lives in [`PlanKnobs`], so cache entries and
+//! feedback state for truncated traffic never collide with full-product
+//! traffic on the same operand, and the [`CostModel`] scales kernel cost
+//! by the estimated surviving-output fraction so the planner can justify
+//! heavier preparation when most of the product is thrown away. See
+//! [`Engine::multiply_shaped`] / [`Engine::multiply_topk`] /
+//! [`Engine::multiply_masked`].
+//!
 //! ```
 //! use cw_engine::Engine;
 //!
@@ -94,9 +104,9 @@ mod prepared;
 mod report;
 
 pub use backend::{
-    materialize_cpu, AdaptiveCpu, BackendCaps, BackendId, BackendPayload, BackendRegistry,
-    CpuOperand, ExecutionBackend, ParallelCpu, SerialReference, TiledCpu, TiledOperand,
-    DEFAULT_TILE_COLS,
+    apply_output_shape, materialize_cpu, AdaptiveCpu, BackendCaps, BackendId, BackendPayload,
+    BackendRegistry, CpuOperand, ExecutionBackend, ParallelCpu, SerialReference, TiledCpu,
+    TiledOperand, DEFAULT_TILE_COLS,
 };
 pub use cache::{CacheBound, CacheBudget, CacheCounters, CacheKey, CacheStats, PlanCache};
 pub use calibrate::{
@@ -106,10 +116,11 @@ pub use calibrate::{
 pub use cost::{
     CostEstimate, CostModel, Ewma, FeedbackStore, OperandFeatures, OperandKey, PlanFeedbackState,
     PlanningPolicy, CALIBRATION_CLAMP, DEFAULT_FEEDBACK_CAPACITY, EWMA_ALPHA,
-    MIN_OBSERVATIONS_TO_SWITCH, MIN_OBSERVATION_HALF_LIFE, STALE_OBSERVATION_WEIGHT, SWITCH_MARGIN,
+    MASKED_SURVIVING_FRACTION, MIN_OBSERVATIONS_TO_SWITCH, MIN_OBSERVATION_HALF_LIFE,
+    MIN_TOPK_SURVIVING_FRACTION, STALE_OBSERVATION_WEIGHT, SWITCH_MARGIN,
 };
 pub use engine::{Engine, DEFAULT_CACHE_CAPACITY};
-pub use plan::{ClusteringStrategy, KernelChoice, Plan, PlanKnobs};
+pub use plan::{ClusteringStrategy, KernelChoice, OutputShape, Plan, PlanKnobs};
 pub use planner::{Planner, RankedPlan, DENSE_ACC_COL_THRESHOLD, PARALLEL_ROW_THRESHOLD};
 pub use prepared::{PrepTimings, PreparedMatrix};
 pub use report::{ExecutionReport, StageTimings};

@@ -23,6 +23,44 @@ pub enum KernelChoice {
     ClusterWise,
 }
 
+/// What portion of the product the caller wants back.
+///
+/// Output shape is a **plan knob**: it participates in [`Plan::knobs`], so
+/// plan-cache entries, [`crate::FeedbackStore`] candidates, and cost-model
+/// pricing for different shapes never collide — a top-k request and a full
+/// request on the same operand learn and cache independently. Execution
+/// dispatches through [`crate::ExecutionBackend::execute_shaped`]; the
+/// built-in backends compute the full product and apply the row-local
+/// shape transform ([`cw_spgemm::row_topk`] / [`cw_spgemm::apply_mask`]),
+/// which commutes with row permutation, so every backend stays
+/// bit-identical to the serial reference per shape.
+///
+/// The mask operand itself is *request data*, not plan data — it travels
+/// alongside the multiply (e.g. `cw_service`'s `RequestShape::Masked`)
+/// while the plan only records *that* the output is masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OutputShape {
+    /// The whole product (the default).
+    #[default]
+    Full,
+    /// Only entries at positions present in a caller-provided mask
+    /// pattern (GraphBLAS-style `C⟨M⟩ = A·B`).
+    Masked,
+    /// The `k` largest-magnitude entries of each output row.
+    TopK(usize),
+}
+
+impl OutputShape {
+    /// Compact human-readable form, e.g. `full` / `masked` / `top4`.
+    pub fn describe(&self) -> String {
+        match self {
+            OutputShape::Full => "full".to_string(),
+            OutputShape::Masked => "masked".to_string(),
+            OutputShape::TopK(k) => format!("top{k}"),
+        }
+    }
+}
+
 /// How the prepared operand's rows are grouped into clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusteringStrategy {
@@ -57,6 +95,10 @@ pub struct Plan {
     /// Execution backend the plan runs on (resolved through the
     /// [`crate::BackendRegistry`] at prepare/execute time).
     pub backend: BackendId,
+    /// What portion of the product to return ([`OutputShape::Full`] by
+    /// default). A masked plan expects the mask operand alongside the
+    /// multiply call.
+    pub shape: OutputShape,
     /// One-line explanation of why the planner chose this plan.
     pub rationale: &'static str,
 }
@@ -83,6 +125,9 @@ pub struct PlanKnobs {
     /// cache entries and feedback candidates are effectively keyed by
     /// `(fingerprint, pipeline knobs, backend)`.
     pub backend: BackendId,
+    /// See [`Plan::shape`]. Output shape is part of the knobs, so
+    /// preparations and feedback for different shapes never collide.
+    pub shape: OutputShape,
 }
 
 impl Plan {
@@ -96,6 +141,7 @@ impl Plan {
             parallel: true,
             chunks_per_thread: 8,
             backend: BackendId::ParallelCpu,
+            shape: OutputShape::Full,
             rationale: "baseline row-wise Gustavson",
         }
     }
@@ -104,6 +150,13 @@ impl Plan {
     /// used to force a backend for ablations and cross-validation).
     pub fn on_backend(self, backend: BackendId) -> Plan {
         Plan { backend, ..self }
+    }
+
+    /// The same pipeline producing a different output shape
+    /// (builder-style). Because the shape is a knob, the shaped plan
+    /// caches and learns separately from the full-product one.
+    pub fn with_shape(self, shape: OutputShape) -> Plan {
+        Plan { shape, ..self }
     }
 
     /// Translates an advisor [`Suggestion`] into a plan skeleton
@@ -144,6 +197,7 @@ impl Plan {
             parallel: self.parallel,
             chunks_per_thread: self.chunks_per_thread,
             backend: self.backend,
+            shape: self.shape,
         }
     }
 
@@ -179,7 +233,15 @@ impl Plan {
             KernelChoice::RowWise => "RowWise",
             KernelChoice::ClusterWise => "ClusterWise",
         };
-        format!("{reorder} → {clustering} → {kernel} [{:?}] @{}", self.acc, self.backend.name())
+        let shape = match self.shape {
+            OutputShape::Full => String::new(),
+            other => format!(" ⊳{}", other.describe()),
+        };
+        format!(
+            "{reorder} → {clustering} → {kernel} [{:?}] @{}{shape}",
+            self.acc,
+            self.backend.name()
+        )
     }
 }
 
@@ -235,6 +297,19 @@ mod tests {
         let t = p.on_backend(BackendId::TiledCpu);
         assert_ne!(p.knobs(), t.knobs(), "backend must change cache identity");
         assert!(t.describe().contains("tiled-cpu"), "{}", t.describe());
+    }
+
+    #[test]
+    fn output_shape_is_part_of_the_knobs_and_description() {
+        let full = Plan::baseline();
+        assert_eq!(full.shape, OutputShape::Full);
+        let topk = full.with_shape(OutputShape::TopK(8));
+        let masked = full.with_shape(OutputShape::Masked);
+        assert_ne!(full.knobs(), topk.knobs(), "shape must change cache identity");
+        assert_ne!(topk.knobs(), masked.knobs());
+        assert!(topk.describe().contains("top8"), "{}", topk.describe());
+        assert!(masked.describe().contains("masked"), "{}", masked.describe());
+        assert!(!full.describe().contains("full"), "{}", full.describe());
     }
 
     #[test]

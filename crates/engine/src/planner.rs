@@ -17,7 +17,7 @@
 use crate::backend::{BackendCaps, BackendId, BackendRegistry};
 use crate::calibrate::CalibrationProfile;
 use crate::cost::{CostEstimate, CostModel, OperandFeatures, PlanningPolicy};
-use crate::plan::Plan;
+use crate::plan::{OutputShape, Plan};
 use cw_core::ClusterConfig;
 use cw_reorder::advisor::{advise, advise_profiled, profile, Profile, Suggestion};
 use cw_reorder::Reordering;
@@ -173,10 +173,24 @@ impl Planner {
     /// suggestions that tune to identical pipelines keep the
     /// highest-affinity instance).
     pub fn plans_costed(&self, a: &CsrMatrix) -> Vec<RankedPlan> {
+        self.plans_costed_shaped(a, OutputShape::Full)
+    }
+
+    /// [`Planner::plans_costed`] for a specific [`OutputShape`]: every
+    /// candidate carries the shape in its knobs (so shaped cache entries
+    /// and feedback candidates never collide with full-product ones) and
+    /// is priced with the shape's estimated surviving-output fraction —
+    /// truncated shapes shrink kernel cost but not prep cost, which is
+    /// exactly what lets the planner justify heavier preprocessing for
+    /// top-k/masked traffic.
+    pub fn plans_costed_shaped(&self, a: &CsrMatrix, shape: OutputShape) -> Vec<RankedPlan> {
         let advice = advise_profiled(a);
         let features = OperandFeatures::with_profile(a, advice.profile);
         let mut out: Vec<RankedPlan> = Vec::with_capacity(advice.ranked.len() + 1);
+        // The shape is stamped *before* dedup and pricing, so candidate
+        // knobs match the knobs later recorded by shaped executions.
         let push = |plan: Plan, affinity: f64, out: &mut Vec<RankedPlan>| {
+            let plan = plan.with_shape(shape);
             if out.iter().any(|r: &RankedPlan| r.plan.knobs() == plan.knobs()) {
                 return;
             }

@@ -17,7 +17,7 @@
 //! registry resolved them.
 
 use crate::backend::{BackendId, BackendPayload, BackendRegistry, ExecutionBackend};
-use crate::plan::Plan;
+use crate::plan::{OutputShape, Plan};
 use cw_core::ClusterConfig;
 use cw_sparse::{checksum, fingerprint, CsrMatrix, MatrixFingerprint, Permutation};
 use std::sync::Arc;
@@ -147,8 +147,11 @@ impl PreparedMatrix {
         size_of::<Self>() + self.payload.approx_bytes() + unpermute
     }
 
-    /// `C = A · b` using the materialized plan on its backend; rows of `C`
-    /// come back in the original (pre-reordering) order.
+    /// `C = A · b` shaped by the plan's [`OutputShape`], on the plan's
+    /// backend; rows of `C` come back in the original (pre-reordering)
+    /// order. Plans prepared with [`OutputShape::Masked`] must go through
+    /// [`PreparedMatrix::multiply_shaped`] — the mask is request data, not
+    /// part of the preparation.
     pub fn multiply(&self, b: &CsrMatrix) -> CsrMatrix {
         self.multiply_timed(b).0
     }
@@ -156,8 +159,45 @@ impl PreparedMatrix {
     /// [`PreparedMatrix::multiply`] plus `(kernel, postprocess)` stage
     /// seconds.
     pub fn multiply_timed(&self, b: &CsrMatrix) -> (CsrMatrix, f64, f64) {
+        self.multiply_shaped_timed(b, None)
+    }
+
+    /// `C = shape(A · b)` with an explicit mask operand: the entry point
+    /// for [`OutputShape::Masked`] plans (`mask` names the output
+    /// positions to keep and must match the product's dimensions). For
+    /// `Full`/`TopK` plans, `mask` must be `None`.
+    pub fn multiply_shaped(&self, b: &CsrMatrix, mask: Option<&CsrMatrix>) -> CsrMatrix {
+        self.multiply_shaped_timed(b, mask).0
+    }
+
+    /// [`PreparedMatrix::multiply_shaped`] plus `(kernel, postprocess)`
+    /// stage seconds. Shape application is billed to the kernel stage —
+    /// it is part of producing the shaped result — while postprocess
+    /// remains the row un-permutation alone.
+    pub fn multiply_shaped_timed(
+        &self,
+        b: &CsrMatrix,
+        mask: Option<&CsrMatrix>,
+    ) -> (CsrMatrix, f64, f64) {
+        assert_eq!(
+            matches!(self.plan.shape, OutputShape::Masked),
+            mask.is_some(),
+            "a mask operand must be supplied exactly when the plan's shape is Masked (plan: {})",
+            self.plan.describe()
+        );
         let t0 = Instant::now();
-        let c = self.backend.execute(self.payload.as_ref(), &self.plan, b);
+        // The kernel emits rows in the *internal* (post-reordering) order.
+        // Shape application is row-local, so it commutes with the
+        // reordering — the mask just has to travel into the same order.
+        let internal_mask;
+        let mask = match (&self.unpermute, mask) {
+            (Some(q), Some(m)) => {
+                internal_mask = q.inverse().permute_rows(m);
+                Some(&internal_mask)
+            }
+            (_, m) => m,
+        };
+        let c = self.backend.execute_shaped(self.payload.as_ref(), &self.plan, b, mask);
         let kernel_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();

@@ -7,8 +7,8 @@
 //! back so a mismatch is detected as a protocol error.
 
 use crate::frame::{
-    decode_reject_payload, decode_result_payload, encode_submit_payload, read_frame, Frame,
-    FrameError, OpCode, RejectCode, WireReport, FLAG_NO_WAIT,
+    decode_reject_payload, decode_result_payload, encode_submit_payload_shaped, read_frame, Frame,
+    FrameError, OpCode, RejectCode, SubmitShape, WireReport, FLAG_NO_WAIT,
 };
 use cw_service::Priority;
 use cw_sparse::io::CsrCodecError;
@@ -145,8 +145,9 @@ impl From<CsrCodecError> for NetError {
 /// A successfully served wire multiply.
 #[derive(Debug, Clone)]
 pub struct WireResponse {
-    /// `C = lhs · rhs`, bit-identical to a direct [`cw_engine::Engine`]
-    /// multiply with the same configuration.
+    /// `C = shape(lhs · rhs)`, bit-identical to a direct
+    /// [`cw_engine::Engine`] multiply with the same configuration and
+    /// shape.
     pub product: CsrMatrix,
     /// The server's serving telemetry.
     pub report: WireReport,
@@ -250,13 +251,53 @@ impl NetClient {
         rhs: &CsrMatrix,
         qos: Qos,
     ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &SubmitShape::Full, qos)
+    }
+
+    /// `C = topk(lhs · rhs, k)` over the wire — each output row truncated
+    /// to its `k` largest-magnitude entries, high priority, no deadline.
+    /// Bit-identical to serving the full product and truncating
+    /// client-side, but only the surviving entries travel back.
+    pub fn multiply_topk(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        k: u64,
+    ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &SubmitShape::TopK(k), Qos::none())
+    }
+
+    /// `C = (lhs · rhs) ∩ mask` over the wire — only product entries on
+    /// the mask's sparsity pattern survive. The mask travels in the SUBMIT
+    /// payload and must match the product's dimensions
+    /// (`lhs.nrows × rhs.ncols`); the server rejects mismatches with
+    /// [`RejectCode::ShapeMismatch`].
+    pub fn multiply_masked(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        mask: &CsrMatrix,
+    ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &SubmitShape::Masked(mask.clone()), Qos::none())
+    }
+
+    /// `C = shape(lhs · rhs)` with an explicit [`SubmitShape`] and QoS
+    /// envelope — the general form behind [`NetClient::multiply_qos`],
+    /// [`NetClient::multiply_topk`], and [`NetClient::multiply_masked`].
+    pub fn multiply_shaped_qos(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        shape: &SubmitShape,
+        qos: Qos,
+    ) -> Result<WireResponse, NetError> {
         let frame = Frame {
             op: OpCode::Submit,
             priority: qos.priority,
             flags: 0,
             request_id: self.next_request_id(),
             deadline_ms: qos.deadline_ms(),
-            payload: encode_submit_payload(lhs, rhs),
+            payload: encode_submit_payload_shaped(lhs, rhs, shape),
         };
         let reply = self.exchange(&frame)?;
         expect_result(reply)
@@ -272,13 +313,24 @@ impl NetClient {
         rhs: &CsrMatrix,
         qos: Qos,
     ) -> Result<u64, NetError> {
+        self.submit_no_wait_shaped(lhs, rhs, &SubmitShape::Full, qos)
+    }
+
+    /// [`NetClient::submit_no_wait`] with an explicit output shape.
+    pub fn submit_no_wait_shaped(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        shape: &SubmitShape,
+        qos: Qos,
+    ) -> Result<u64, NetError> {
         let frame = Frame {
             op: OpCode::Submit,
             priority: qos.priority,
             flags: FLAG_NO_WAIT,
             request_id: self.next_request_id(),
             deadline_ms: qos.deadline_ms(),
-            payload: encode_submit_payload(lhs, rhs),
+            payload: encode_submit_payload_shaped(lhs, rhs, shape),
         };
         let reply = self.exchange(&frame)?;
         match reply.op {

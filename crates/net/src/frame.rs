@@ -12,7 +12,7 @@
 //! | off | size | field | meaning |
 //! |-----|------|-------------|--------------------------------------------|
 //! | 0   | 4    | magic       | `b"CWNP"` |
-//! | 4   | 2    | version     | schema version, currently 1 |
+//! | 4   | 2    | version     | schema version, currently 2 |
 //! | 6   | 1    | op          | [`OpCode`] |
 //! | 7   | 1    | priority    | 0 = high, 1 = low |
 //! | 8   | 2    | flags       | bit 0 = [`FLAG_NO_WAIT`] |
@@ -20,7 +20,15 @@
 //! | 12  | 8    | request_id  | client-chosen; echoed in every reply |
 //! | 20  | 4    | deadline_ms | relative deadline, 0 = none |
 //! | 24  | 4    | payload_len | payload bytes following the header |
+//!
+//! Version 2 adds the optional output-shape block to SUBMIT payloads
+//! ([`SubmitShape`]) and the shape fields to [`WireReport`]. A version-1
+//! SUBMIT (no shape block) still decodes — it means the full product —
+//! so v1 clients keep working against a v2 server. The normative
+//! byte-level specification lives in `docs/PROTOCOL.md` at the workspace
+//! root; this module is its implementation.
 
+use cw_engine::OutputShape;
 use cw_service::{Priority, ServiceReport};
 use cw_sparse::io::{decode_csr, encode_csr_into, CsrCodecError};
 use cw_sparse::CsrMatrix;
@@ -31,7 +39,9 @@ use std::io::{self, Read, Write};
 pub const FRAME_MAGIC: [u8; 4] = *b"CWNP";
 
 /// Wire schema version emitted by this build; peers reject anything newer.
-pub const FRAME_VERSION: u16 = 1;
+/// Version 2 added output shapes (the SUBMIT shape block and the
+/// [`WireReport`] shape fields); version-1 frames are still accepted.
+pub const FRAME_VERSION: u16 = 2;
 
 /// Fixed header size in bytes.
 pub const FRAME_HEADER_BYTES: usize = 28;
@@ -45,8 +55,9 @@ pub const FLAG_NO_WAIT: u16 = 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum OpCode {
-    /// Client → server: execute `C = lhs · rhs`. Payload: lhs `CSRB` blob
-    /// immediately followed by rhs `CSRB` blob.
+    /// Client → server: execute `C = shape(lhs · rhs)`. Payload: lhs
+    /// `CSRB` blob, rhs `CSRB` blob, then an optional [`SubmitShape`]
+    /// block (absent = full product, the version-1 payload).
     Submit = 1,
     /// Server → client: a served multiply. Payload: [`WireReport`]
     /// followed by the product `CSRB` blob.
@@ -307,16 +318,82 @@ pub fn read_frame_after_first_byte<R: Read>(
 // Payload codecs
 // ---------------------------------------------------------------------------
 
-/// SUBMIT payload: the two operands as back-to-back `CSRB` blobs.
+/// Shape-block tag byte: masked output (a mask `CSRB` blob follows).
+pub const SHAPE_TAG_MASKED: u8 = 1;
+
+/// Shape-block tag byte: top-k output (a `u64` LE `k` follows).
+pub const SHAPE_TAG_TOPK: u8 = 2;
+
+/// Requested output shape of a SUBMIT, carrying the mask operand for
+/// masked requests — the wire-side counterpart of
+/// [`cw_service::RequestShape`].
+///
+/// On the wire this is the optional block *after* the two operand blobs:
+///
+/// * absent → [`SubmitShape::Full`] (exactly the version-1 payload, so
+///   full-product submits are byte-identical across versions);
+/// * `[SHAPE_TAG_MASKED]` + mask `CSRB` blob → [`SubmitShape::Masked`];
+/// * `[SHAPE_TAG_TOPK]` + `k` as `u64` LE → [`SubmitShape::TopK`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SubmitShape {
+    /// The complete product (encodes as no shape block).
+    #[default]
+    Full,
+    /// Keep only product entries on the mask's sparsity pattern; the mask
+    /// must match the product's dimensions (`lhs.nrows × rhs.ncols`).
+    Masked(CsrMatrix),
+    /// Keep each output row's `k` largest-magnitude entries.
+    TopK(u64),
+}
+
+impl SubmitShape {
+    /// The service-level request shape this decodes to.
+    pub fn to_request_shape(&self) -> cw_service::RequestShape {
+        match self {
+            SubmitShape::Full => cw_service::RequestShape::Full,
+            SubmitShape::Masked(m) => {
+                cw_service::RequestShape::Masked(std::sync::Arc::new(m.clone()))
+            }
+            SubmitShape::TopK(k) => cw_service::RequestShape::TopK(*k as usize),
+        }
+    }
+}
+
+/// SUBMIT payload: the two operands as back-to-back `CSRB` blobs (the
+/// version-1 form — equivalent to
+/// [`encode_submit_payload_shaped`] with [`SubmitShape::Full`]).
 pub fn encode_submit_payload(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Vec<u8> {
+    encode_submit_payload_shaped(lhs, rhs, &SubmitShape::Full)
+}
+
+/// SUBMIT payload with an output-shape block: lhs blob, rhs blob, then
+/// the shape block ([`SubmitShape::Full`] encodes nothing, keeping
+/// full-product payloads byte-identical to version 1).
+pub fn encode_submit_payload_shaped(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    shape: &SubmitShape,
+) -> Vec<u8> {
     let mut out = Vec::new();
     encode_csr_into(&mut out, lhs);
     encode_csr_into(&mut out, rhs);
+    match shape {
+        SubmitShape::Full => {}
+        SubmitShape::Masked(mask) => {
+            out.push(SHAPE_TAG_MASKED);
+            encode_csr_into(&mut out, mask);
+        }
+        SubmitShape::TopK(k) => {
+            out.push(SHAPE_TAG_TOPK);
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
     out
 }
 
-/// Decodes a SUBMIT payload; trailing bytes after the second blob are a
-/// framing error.
+/// Decodes a version-1 SUBMIT payload; **any** bytes after the second
+/// blob — including a valid shape block — are a framing error. Servers
+/// use [`decode_submit_payload_shaped`] instead.
 pub fn decode_submit_payload(payload: &[u8]) -> Result<(CsrMatrix, CsrMatrix), CsrCodecError> {
     let (lhs, used) = decode_csr(payload)?;
     let (rhs, used2) = decode_csr(&payload[used..])?;
@@ -324,6 +401,41 @@ pub fn decode_submit_payload(payload: &[u8]) -> Result<(CsrMatrix, CsrMatrix), C
         return Err(CsrCodecError::TrailingBytes(payload.len() - used - used2));
     }
     Ok((lhs, rhs))
+}
+
+/// Decodes a SUBMIT payload with an optional shape block. An absent block
+/// (the version-1 payload) decodes as [`SubmitShape::Full`]; an unknown
+/// tag byte or bytes trailing a complete block are framing errors.
+pub fn decode_submit_payload_shaped(
+    payload: &[u8],
+) -> Result<(CsrMatrix, CsrMatrix, SubmitShape), CsrCodecError> {
+    let (lhs, used) = decode_csr(payload)?;
+    let (rhs, used2) = decode_csr(&payload[used..])?;
+    let rest = &payload[used + used2..];
+    let shape = match rest.first() {
+        None => SubmitShape::Full,
+        Some(&SHAPE_TAG_MASKED) => {
+            let (mask, used3) = decode_csr(&rest[1..])?;
+            if 1 + used3 != rest.len() {
+                return Err(CsrCodecError::TrailingBytes(rest.len() - 1 - used3));
+            }
+            SubmitShape::Masked(mask)
+        }
+        Some(&SHAPE_TAG_TOPK) => {
+            if rest.len() != 9 {
+                return Err(if rest.len() < 9 {
+                    CsrCodecError::Truncated { needed: 9, have: rest.len() }
+                } else {
+                    CsrCodecError::TrailingBytes(rest.len() - 9)
+                });
+            }
+            SubmitShape::TopK(u64::from_le_bytes(rest[1..9].try_into().unwrap()))
+        }
+        // An unrecognized tag is indistinguishable from garbage: surface
+        // it as trailing bytes so the server rejects it as Malformed.
+        Some(_) => return Err(CsrCodecError::TrailingBytes(rest.len())),
+    };
+    Ok((lhs, rhs, shape))
 }
 
 /// REJECT payload: code + human-readable message.
@@ -374,10 +486,15 @@ pub struct WireReport {
     /// Deadline slack when the response was produced (`None` = no
     /// deadline was set).
     pub deadline_slack_seconds: Option<f64>,
+    /// Output shape the request executed under (version 2; encoded as a
+    /// tag byte — 0 full, [`SHAPE_TAG_MASKED`], [`SHAPE_TAG_TOPK`] —
+    /// plus a `u64` LE `k`, zero unless top-k).
+    pub shape: OutputShape,
 }
 
-/// Encoded size of a [`WireReport`].
-pub const WIRE_REPORT_BYTES: usize = 44;
+/// Encoded size of a [`WireReport`] (44 bytes in version 1, plus the
+/// 9-byte shape field added in version 2).
+pub const WIRE_REPORT_BYTES: usize = 53;
 
 impl WireReport {
     /// Projects a [`ServiceReport`] onto the wire schema.
@@ -394,6 +511,7 @@ impl WireReport {
             backend,
             priority: report.priority,
             deadline_slack_seconds: report.deadline_slack_seconds,
+            shape: report.shape,
         }
     }
 
@@ -414,6 +532,13 @@ impl WireReport {
         out.push(priority_to_wire(self.priority));
         out.push(self.deadline_slack_seconds.is_some() as u8);
         out.extend_from_slice(&self.deadline_slack_seconds.unwrap_or(0.0).to_bits().to_le_bytes());
+        let (tag, k) = match self.shape {
+            OutputShape::Full => (0u8, 0u64),
+            OutputShape::Masked => (SHAPE_TAG_MASKED, 0),
+            OutputShape::TopK(k) => (SHAPE_TAG_TOPK, k as u64),
+        };
+        out.push(tag);
+        out.extend_from_slice(&k.to_le_bytes());
     }
 
     /// Decodes the fixed-size prefix; returns the report and bytes used.
@@ -424,6 +549,12 @@ impl WireReport {
         let f64_at =
             |at: usize| f64::from_bits(u64::from_le_bytes(buf[at..at + 8].try_into().unwrap()));
         let has_slack = buf[35] != 0;
+        let k = u64::from_le_bytes(buf[45..53].try_into().unwrap()) as usize;
+        let shape = match buf[44] {
+            SHAPE_TAG_MASKED => OutputShape::Masked,
+            SHAPE_TAG_TOPK => OutputShape::TopK(k),
+            _ => OutputShape::Full,
+        };
         Some((
             WireReport {
                 shard: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
@@ -435,6 +566,7 @@ impl WireReport {
                 backend: buf[33],
                 priority: priority_from_wire(buf[34]),
                 deadline_slack_seconds: has_slack.then(|| f64_at(36)),
+                shape,
             },
             WIRE_REPORT_BYTES,
         ))
@@ -521,6 +653,15 @@ mod tests {
     }
 
     #[test]
+    fn version_one_frames_are_still_accepted() {
+        let mut bytes = submit_frame().encode();
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let back = read_frame(&mut Cursor::new(bytes), 1 << 20).unwrap();
+        assert_eq!(back.op, OpCode::Submit);
+        assert_eq!(back.request_id, 0xDEAD_BEEF_0042);
+    }
+
+    #[test]
     fn unknown_op_is_rejected() {
         let mut bytes = submit_frame().encode();
         bytes[6] = 200;
@@ -562,6 +703,71 @@ mod tests {
     }
 
     #[test]
+    fn shaped_submit_payload_round_trips_every_shape() {
+        let a = CsrMatrix::identity(4);
+        let mask = CsrMatrix::identity(4);
+        for shape in [SubmitShape::Full, SubmitShape::TopK(3), SubmitShape::Masked(mask)] {
+            let p = encode_submit_payload_shaped(&a, &a, &shape);
+            let (lhs, rhs, back) = decode_submit_payload_shaped(&p).unwrap();
+            assert_eq!(lhs, a);
+            assert_eq!(rhs, a);
+            assert_eq!(back, shape);
+        }
+    }
+
+    #[test]
+    fn full_shaped_payload_is_byte_identical_to_v1() {
+        let a = CsrMatrix::identity(6);
+        assert_eq!(
+            encode_submit_payload(&a, &a),
+            encode_submit_payload_shaped(&a, &a, &SubmitShape::Full)
+        );
+        // And a v1 payload decodes shaped as Full.
+        let (_, _, shape) = decode_submit_payload_shaped(&encode_submit_payload(&a, &a)).unwrap();
+        assert_eq!(shape, SubmitShape::Full);
+    }
+
+    #[test]
+    fn shaped_submit_payload_rejects_malformed_blocks() {
+        let a = CsrMatrix::identity(3);
+        // Unknown tag.
+        let mut p = encode_submit_payload(&a, &a);
+        p.push(99);
+        assert!(decode_submit_payload_shaped(&p).is_err());
+        // Truncated top-k block.
+        let mut p = encode_submit_payload(&a, &a);
+        p.push(SHAPE_TAG_TOPK);
+        p.extend_from_slice(&[0u8; 4]);
+        assert!(decode_submit_payload_shaped(&p).is_err());
+        // Trailing garbage after a complete top-k block.
+        let mut p = encode_submit_payload_shaped(&a, &a, &SubmitShape::TopK(1));
+        p.push(0);
+        assert!(decode_submit_payload_shaped(&p).is_err());
+        // Trailing garbage after a complete mask block.
+        let mut p =
+            encode_submit_payload_shaped(&a, &a, &SubmitShape::Masked(CsrMatrix::identity(3)));
+        p.push(0);
+        assert!(decode_submit_payload_shaped(&p).is_err());
+        // The strict v1 decoder rejects any shape block.
+        let p = encode_submit_payload_shaped(&a, &a, &SubmitShape::TopK(1));
+        assert!(matches!(decode_submit_payload(&p), Err(CsrCodecError::TrailingBytes(9))));
+    }
+
+    #[test]
+    fn submit_shape_maps_to_request_shape() {
+        assert!(matches!(SubmitShape::Full.to_request_shape(), cw_service::RequestShape::Full));
+        assert!(matches!(
+            SubmitShape::TopK(5).to_request_shape(),
+            cw_service::RequestShape::TopK(5)
+        ));
+        let m = CsrMatrix::identity(2);
+        match SubmitShape::Masked(m.clone()).to_request_shape() {
+            cw_service::RequestShape::Masked(mask) => assert_eq!(*mask, m),
+            other => panic!("expected Masked, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn reject_payload_round_trip() {
         let p = encode_reject_payload(RejectCode::DeadlineExpired, "too late");
         let (code, msg) = decode_reject_payload(&p).unwrap();
@@ -586,6 +792,7 @@ mod tests {
             backend: 1,
             priority: Priority::Low,
             deadline_slack_seconds: Some(-0.25),
+            shape: OutputShape::TopK(12),
         };
         let mut buf = Vec::new();
         r.encode_into(&mut buf);
@@ -613,6 +820,7 @@ mod tests {
             backend: 0,
             priority: Priority::High,
             deadline_slack_seconds: None,
+            shape: OutputShape::Full,
         };
         let p = encode_result_payload(&report, &product);
         let (r2, p2) = decode_result_payload(&p).unwrap();

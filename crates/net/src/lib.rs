@@ -54,6 +54,6 @@ mod router;
 mod server;
 
 pub use client::{ClientConfig, NetClient, NetError, Qos, WireResponse};
-pub use frame::{Frame, FrameError, OpCode, RejectCode, WireReport};
+pub use frame::{Frame, FrameError, OpCode, RejectCode, SubmitShape, WireReport};
 pub use router::RoutedClient;
 pub use server::{NetServer, NetServerConfig};

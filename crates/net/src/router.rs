@@ -63,8 +63,43 @@ impl RoutedClient {
         rhs: &CsrMatrix,
         qos: Qos,
     ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &crate::SubmitShape::Full, qos)
+    }
+
+    /// Routed `C = topk(lhs · rhs, k)` (see [`NetClient::multiply_topk`]).
+    pub fn multiply_topk(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        k: u64,
+    ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &crate::SubmitShape::TopK(k), Qos::none())
+    }
+
+    /// Routed `C = (lhs · rhs) ∩ mask` (see
+    /// [`NetClient::multiply_masked`]).
+    pub fn multiply_masked(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        mask: &CsrMatrix,
+    ) -> Result<WireResponse, NetError> {
+        self.multiply_shaped_qos(lhs, rhs, &crate::SubmitShape::Masked(mask.clone()), Qos::none())
+    }
+
+    /// Routed multiply with an explicit output shape and QoS envelope.
+    /// Routing depends only on the lhs fingerprint — a shaped request for
+    /// an operand lands on the same endpoint as its full-product traffic,
+    /// where the shard keeps a distinct cache entry per shape.
+    pub fn multiply_shaped_qos(
+        &mut self,
+        lhs: &CsrMatrix,
+        rhs: &CsrMatrix,
+        shape: &crate::SubmitShape,
+        qos: Qos,
+    ) -> Result<WireResponse, NetError> {
         let idx = self.endpoint_for(lhs);
-        self.clients[idx].multiply_qos(lhs, rhs, qos)
+        self.clients[idx].multiply_shaped_qos(lhs, rhs, shape, qos)
     }
 
     /// The JSONL observability export of every endpoint, in table order.

@@ -19,7 +19,7 @@
 //! extra plumbing.
 
 use crate::frame::{
-    decode_submit_payload, encode_reject_payload, encode_result_payload,
+    decode_submit_payload_shaped, encode_reject_payload, encode_result_payload,
     read_frame_after_first_byte, Frame, OpCode, RejectCode, WireReport,
 };
 use cw_obs::{Counter, Gauge, LogHistogram};
@@ -398,7 +398,7 @@ fn serve_submit(
     inner.metrics.request_bytes.record(frame.payload.len() as f64);
     let deadline =
         (frame.deadline_ms > 0).then(|| received + Duration::from_millis(frame.deadline_ms as u64));
-    let (lhs, rhs) = match decode_submit_payload(&frame.payload) {
+    let (lhs, rhs, shape) = match decode_submit_payload_shaped(&frame.payload) {
         Ok(ops) => ops,
         Err(e) => {
             inner.metrics.decode_errors.inc();
@@ -413,8 +413,9 @@ fn serve_submit(
             );
         }
     };
-    let mut request =
-        MultiplyRequest::new(Arc::new(lhs), Arc::new(rhs)).with_priority(frame.priority);
+    let mut request = MultiplyRequest::new(Arc::new(lhs), Arc::new(rhs))
+        .with_priority(frame.priority)
+        .with_shape(shape.to_request_shape());
     if let Some(d) = deadline {
         request = request.with_deadline_at(d);
     }
@@ -465,6 +466,23 @@ fn serve_submit(
                     frame.request_id,
                     RejectCode::ShapeMismatch,
                     &format!("lhs has {lhs_ncols} cols, rhs has {rhs_nrows} rows"),
+                );
+            }
+            Err(SubmitError::MaskShapeMismatch {
+                mask_nrows,
+                mask_ncols,
+                product_nrows,
+                product_ncols,
+            }) => {
+                return write_reject(
+                    stream,
+                    inner,
+                    frame.request_id,
+                    RejectCode::ShapeMismatch,
+                    &format!(
+                        "mask is {mask_nrows}x{mask_ncols} but the product is \
+                         {product_nrows}x{product_ncols}"
+                    ),
                 );
             }
             Err(SubmitError::ShuttingDown) => {

@@ -75,7 +75,8 @@ mod shard;
 mod stats;
 
 pub use request::{
-    MultiplyRequest, MultiplyResponse, Priority, ServiceError, ServiceReport, SubmitError, Ticket,
+    MultiplyRequest, MultiplyResponse, Priority, RequestShape, ServiceError, ServiceReport,
+    SubmitError, Ticket,
 };
 pub use service::{ServiceConfig, SpgemmService};
 pub use stats::{LatencyReservoir, LatencySummary, ServiceStats, ShardStats};

@@ -1,6 +1,6 @@
 //! Request/response types crossing the service boundary.
 
-use cw_engine::{BackendId, ExecutionReport, Plan};
+use cw_engine::{BackendId, ExecutionReport, OutputShape, Plan};
 use cw_sparse::CsrMatrix;
 use std::fmt;
 use std::sync::mpsc;
@@ -32,7 +32,48 @@ impl fmt::Display for Priority {
     }
 }
 
-/// One multiply to serve: `C = lhs · rhs`, optionally under a forced plan.
+/// The requested output shape of one multiply, carrying any operand data
+/// the shape needs (request-level counterpart of the plan-level
+/// [`OutputShape`] knob — the mask travels with the request, never with
+/// the cached preparation).
+#[derive(Debug, Clone, Default)]
+pub enum RequestShape {
+    /// The complete product `lhs · rhs` (the default; prior behavior,
+    /// bit-identical).
+    #[default]
+    Full,
+    /// Keep only product entries at positions present in the mask's
+    /// sparsity pattern (explicit zeros in the mask count as present).
+    /// The mask must match the product's dimensions
+    /// (`lhs.nrows × rhs.ncols`); [`crate::SpgemmService::submit`] rejects
+    /// mismatches with [`SubmitError::MaskShapeMismatch`].
+    Masked(Arc<CsrMatrix>),
+    /// Keep each output row's `k` largest-magnitude entries (ties broken
+    /// toward smaller column — see `row_topk` in `cw-spgemm`).
+    TopK(usize),
+}
+
+impl RequestShape {
+    /// The plan-level shape knob this request shape maps to.
+    pub fn output_shape(&self) -> OutputShape {
+        match self {
+            RequestShape::Full => OutputShape::Full,
+            RequestShape::Masked(_) => OutputShape::Masked,
+            RequestShape::TopK(k) => OutputShape::TopK(*k),
+        }
+    }
+
+    /// The mask operand, when this shape carries one.
+    pub fn mask(&self) -> Option<&Arc<CsrMatrix>> {
+        match self {
+            RequestShape::Masked(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// One multiply to serve: `C = shape(lhs · rhs)`, optionally under a
+/// forced plan.
 ///
 /// Operands are `Arc`-shared so a request is cheap to move through the
 /// queue and many requests can reference the same lhs without copying —
@@ -59,12 +100,24 @@ pub struct MultiplyRequest {
     /// QoS class; see [`Priority`]. Default [`Priority::High`] preserves
     /// prior admission behavior bit-identically.
     pub priority: Priority,
+    /// Requested output shape; default [`RequestShape::Full`] computes the
+    /// complete product (prior behavior, bit-identical). A non-full shape
+    /// becomes part of the executing plan's knobs, so truncated traffic
+    /// gets its own cache entries and feedback state on the shard.
+    pub shape: RequestShape,
 }
 
 impl MultiplyRequest {
     /// Planner-chosen multiply request.
     pub fn new(lhs: Arc<CsrMatrix>, rhs: Arc<CsrMatrix>) -> MultiplyRequest {
-        MultiplyRequest { lhs, rhs, plan: None, deadline: None, priority: Priority::default() }
+        MultiplyRequest {
+            lhs,
+            rhs,
+            plan: None,
+            deadline: None,
+            priority: Priority::default(),
+            shape: RequestShape::default(),
+        }
     }
 
     /// Forces `plan` instead of the shard planner's choice.
@@ -88,6 +141,24 @@ impl MultiplyRequest {
     pub fn with_priority(mut self, priority: Priority) -> MultiplyRequest {
         self.priority = priority;
         self
+    }
+
+    /// Sets the requested output shape.
+    pub fn with_shape(mut self, shape: RequestShape) -> MultiplyRequest {
+        self.shape = shape;
+        self
+    }
+
+    /// Requests each output row truncated to its `k` largest-magnitude
+    /// entries (sugar for [`MultiplyRequest::with_shape`]).
+    pub fn with_topk(self, k: usize) -> MultiplyRequest {
+        self.with_shape(RequestShape::TopK(k))
+    }
+
+    /// Requests the product restricted to `mask`'s sparsity pattern
+    /// (sugar for [`MultiplyRequest::with_shape`]).
+    pub fn with_mask(self, mask: Arc<CsrMatrix>) -> MultiplyRequest {
+        self.with_shape(RequestShape::Masked(mask))
     }
 }
 
@@ -117,6 +188,10 @@ pub struct ServiceReport {
     pub backend: BackendId,
     /// QoS class the request was admitted under.
     pub priority: Priority,
+    /// Output shape the request executed under (the executing plan's
+    /// shape knob — [`OutputShape::Full`] unless the request asked for a
+    /// truncated product).
+    pub shape: OutputShape,
     /// Seconds of deadline budget left when the response was produced
     /// (`None` when the request carried no deadline). Negative means the
     /// deadline passed mid-execution — after the worker's pre-execution
@@ -158,7 +233,7 @@ impl ServiceReport {
 /// A served multiply: the product and its [`ServiceReport`].
 #[derive(Debug, Clone)]
 pub struct MultiplyResponse {
-    /// `C = lhs · rhs`, rows in original order.
+    /// `C = shape(lhs · rhs)`, rows in original order.
     pub product: CsrMatrix,
     /// Serving telemetry for this request.
     pub report: ServiceReport,
@@ -179,6 +254,19 @@ pub enum SubmitError {
         /// Rows of the submitted rhs.
         rhs_nrows: usize,
     },
+    /// A [`RequestShape::Masked`] request whose mask does not match the
+    /// product's dimensions (`lhs.nrows × rhs.ncols`). Rejected at the
+    /// front door like [`SubmitError::ShapeMismatch`].
+    MaskShapeMismatch {
+        /// Rows of the submitted mask.
+        mask_nrows: usize,
+        /// Columns of the submitted mask.
+        mask_ncols: usize,
+        /// Rows the product will have (`lhs.nrows`).
+        product_nrows: usize,
+        /// Columns the product will have (`rhs.ncols`).
+        product_ncols: usize,
+    },
     /// The request's deadline had already passed at submission: rejected
     /// at the front door before taking a queue slot (shed cheap, not deep).
     DeadlineExpired,
@@ -193,6 +281,16 @@ impl fmt::Display for SubmitError {
             SubmitError::ShapeMismatch { lhs_ncols, rhs_nrows } => write!(
                 f,
                 "operand shapes do not compose: lhs has {lhs_ncols} cols, rhs has {rhs_nrows} rows"
+            ),
+            SubmitError::MaskShapeMismatch {
+                mask_nrows,
+                mask_ncols,
+                product_nrows,
+                product_ncols,
+            } => write!(
+                f,
+                "mask is {mask_nrows}x{mask_ncols} but the product is \
+                 {product_nrows}x{product_ncols}"
             ),
             SubmitError::DeadlineExpired => {
                 write!(f, "request deadline expired before admission")

@@ -346,6 +346,17 @@ impl SpgemmService {
                 rhs_nrows: request.rhs.nrows,
             });
         }
+        // A masked request's mask must match the product it will filter.
+        if let crate::RequestShape::Masked(mask) = &request.shape {
+            if mask.nrows != request.lhs.nrows || mask.ncols != request.rhs.ncols {
+                return Err(SubmitError::MaskShapeMismatch {
+                    mask_nrows: mask.nrows,
+                    mask_ncols: mask.ncols,
+                    product_nrows: request.lhs.nrows,
+                    product_ncols: request.rhs.ncols,
+                });
+            }
+        }
         // QoS: an already-dead request is shed before it takes a queue
         // slot, costs a fingerprint, or wakes the dispatcher.
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -394,7 +405,10 @@ impl SpgemmService {
             id,
             lhs: request.lhs,
             rhs: request.rhs,
-            plan: request.plan,
+            // A forced plan inherits the request's shape: the request is
+            // authoritative about *what* to compute, the plan about *how*.
+            plan: request.plan.map(|p| p.with_shape(request.shape.output_shape())),
+            shape: request.shape,
             deadline: request.deadline,
             priority: request.priority,
             fingerprint: fp,

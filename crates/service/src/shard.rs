@@ -22,9 +22,11 @@
 //! `plan`/`prepare`/`execute`/`postprocess`), and a `request` root closing
 //! the trace into the flight recorder.
 
-use crate::request::{MultiplyResponse, ServiceError, ServiceReport};
+use crate::request::{MultiplyResponse, RequestShape, ServiceError, ServiceReport};
 use crate::stats::{LatencyReservoir, ShardStats};
-use cw_engine::{BackendId, CacheCounters, Engine, Plan, PlanKnobs, PreparedMatrix, StageTimings};
+use cw_engine::{
+    BackendId, CacheCounters, Engine, OutputShape, Plan, PlanKnobs, PreparedMatrix, StageTimings,
+};
 use cw_obs::{Counter, Gauge, LogHistogram, Tracer};
 use cw_sparse::{CsrMatrix, MatrixFingerprint};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,6 +53,9 @@ pub(crate) struct Submission {
     pub(crate) lhs: Arc<CsrMatrix>,
     pub(crate) rhs: Arc<CsrMatrix>,
     pub(crate) plan: Option<Plan>,
+    /// Requested output shape (carries the mask operand for masked
+    /// requests; the service front door already validated its dimensions).
+    pub(crate) shape: RequestShape,
     /// Expiry instant; a worker pulling an already-expired submission
     /// drops it with [`ServiceError::DeadlineExceeded`] instead of
     /// executing dead work.
@@ -148,6 +153,11 @@ pub(crate) fn backend_slot(id: BackendId) -> usize {
     BackendId::ALL.iter().position(|b| *b == id).unwrap_or(0)
 }
 
+/// The head request's reusable identity within one coalesced batch — the
+/// lhs operand, forced-plan knobs, output shape, and the preparation they
+/// resolved to.
+type BatchHead = (Arc<CsrMatrix>, Option<PlanKnobs>, OutputShape, Arc<PreparedMatrix>);
+
 /// Drains batches until the dispatcher hangs up, then exits. Responses go
 /// straight to each request's private channel; counters land in the
 /// shard's [`ShardObs`] cells so [`crate::SpgemmService::stats`] and the
@@ -158,7 +168,11 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
         ctx.batch_size.record(batch_size as f64);
         ctx.queue_depth.set(ctx.in_flight.load(Ordering::SeqCst) as i64);
         // Head request's resolved operand, reusable by identical followers.
-        let mut head: Option<(Arc<CsrMatrix>, Option<PlanKnobs>, Arc<PreparedMatrix>)> = None;
+        // The shape joins the identity because shaped preparations live
+        // under their own cache keys; the *mask* does not — preparation is
+        // mask-independent, so two masked requests with different masks
+        // still share one prepared operand.
+        let mut head: Option<BatchHead> = None;
         for sub in batch.items {
             let started = Instant::now();
             // The deadline already gated admission; here it gates
@@ -186,9 +200,11 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
             }
             let serve_span = ctx.tracer.span("serve");
             let plan_knobs = sub.plan.map(|p| p.knobs());
+            let shape = sub.shape.output_shape();
             let reused = matches!(
                 &head,
-                Some((lhs0, knobs0, _)) if Arc::ptr_eq(lhs0, &sub.lhs) && *knobs0 == plan_knobs
+                Some((lhs0, knobs0, shape0, _))
+                    if Arc::ptr_eq(lhs0, &sub.lhs) && *knobs0 == plan_knobs && *shape0 == shape
             );
             let (prepared, prep_timings, cache_hit) = if reused {
                 ctx.obs.reuse_hits.inc();
@@ -197,11 +213,11 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
                 let now = ctx.tracer.now_ns();
                 ctx.tracer.record_span("plan", now, now);
                 ctx.tracer.record_span("prepare", now, now);
-                let (_, _, prep) = head.as_ref().expect("reused implies head");
+                let (_, _, _, prep) = head.as_ref().expect("reused implies head");
                 (Arc::clone(prep), StageTimings::default(), true)
             } else {
-                let (prep, timings, hit) = engine.prepare_with(&sub.lhs, sub.plan);
-                head = Some((Arc::clone(&sub.lhs), plan_knobs, Arc::clone(&prep)));
+                let (prep, timings, hit) = engine.prepare_with_shape(&sub.lhs, sub.plan, shape);
+                head = Some((Arc::clone(&sub.lhs), plan_knobs, shape, Arc::clone(&prep)));
                 (prep, timings, hit)
             };
             // Execute + record + report through the engine's shared tail:
@@ -210,8 +226,13 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
             // requests whose knobs match a tracked candidate feed that
             // candidate's EWMA too (an ablation run can promote a faster
             // plan for the shard's auto traffic).
-            let (product, execution) =
-                engine.execute_prepared(&prepared, &sub.rhs, prep_timings, cache_hit);
+            let (product, execution) = engine.execute_prepared_shaped(
+                &prepared,
+                &sub.rhs,
+                sub.shape.mask().map(Arc::as_ref),
+                prep_timings,
+                cache_hit,
+            );
             drop(serve_span);
             if execution.feedback.is_some_and(|f| f.switched) {
                 ctx.obs.replans.inc();
@@ -234,6 +255,7 @@ pub(crate) fn worker_loop(rx: Receiver<Batch>, mut engine: Engine, ctx: WorkerCt
                 cache_hit: execution.cache_hit,
                 backend: execution.backend,
                 priority: sub.priority,
+                shape: execution.plan.shape,
                 deadline_slack_seconds: sub.deadline.map(|d| {
                     let now = Instant::now();
                     match d.checked_duration_since(now) {

@@ -15,6 +15,9 @@
 //!   (`flops / nnz(C)`) that prior work uses to predict SpGEMM throughput.
 //! * [`topk`] — `SpGEMM_TopK(A, Aᵀ)`: the candidate-pair generation step of
 //!   hierarchical clustering (paper Alg. 3 line 3).
+//! * [`shape`] — output-shape postprocess kernels ([`apply_mask`],
+//!   [`row_topk`]): the row-local masked / per-row top-k truncations the
+//!   engine's `OutputShape` plan knob dispatches onto.
 //! * [`trace`] — extraction of the B-row access sequence a kernel performs,
 //!   consumed by `cw-cachesim` for deterministic locality measurements.
 //! * [`colwise`], [`heap`], [`pattern`] — alternative kernels (column-wise
@@ -31,6 +34,7 @@ pub mod flops;
 pub mod heap;
 pub mod pattern;
 pub mod rowwise;
+pub mod shape;
 pub mod topk;
 pub mod trace;
 
@@ -43,4 +47,5 @@ pub use colwise::spgemm_colwise;
 pub use heap::spgemm_heap;
 pub use pattern::spgemm_pattern;
 pub use rowwise::{spgemm, spgemm_serial, spgemm_with, SpGemmOptions};
+pub use shape::{apply_mask, row_topk};
 pub use topk::{spgemm_topk, CandidatePair};

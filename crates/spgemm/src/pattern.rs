@@ -6,6 +6,23 @@
 //! fill-in needs structure only. The kernel skips multiplication entirely
 //! and collects distinct columns with a stamped dense set, which is also a
 //! useful independent cross-check of the numeric kernels' symbolic phase.
+//!
+//! # Examples
+//!
+//! The pattern of `I·B` is the pattern of `B`, with every value set to 1:
+//!
+//! ```
+//! use cw_sparse::{CooMatrix, CsrMatrix};
+//! use cw_spgemm::spgemm_pattern;
+//!
+//! let mut coo = CooMatrix::new(2, 3);
+//! coo.push(0, 1, 42.0);
+//! coo.push(1, 2, -7.0);
+//! let b = coo.to_csr();
+//! let c = spgemm_pattern(&CsrMatrix::identity(2), &b);
+//! assert_eq!(c.row(0), (&[1u32][..], &[1.0][..]));
+//! assert_eq!(c.row(1), (&[2u32][..], &[1.0][..]));
+//! ```
 
 use cw_sparse::{ColIdx, CsrMatrix};
 use rayon::prelude::*;

@@ -8,6 +8,30 @@
 //! entries per row (by Jaccard score, derived from the overlap count) and
 //! filtering by a similarity threshold yields the candidate pairs — faster
 //! and more accurate than the LSH pipeline of the prior SpMM work \[32\].
+//!
+//! The per-row top-k *numeric* truncation this relies on is also available
+//! as a standalone output shape — [`crate::row_topk`] — which the engine's
+//! `OutputShape::TopK` plan knob applies to any product.
+//!
+//! # Examples
+//!
+//! Two identical band rows are each other's best candidate:
+//!
+//! ```
+//! use cw_sparse::CooMatrix;
+//! use cw_spgemm::spgemm_topk;
+//!
+//! let mut coo = CooMatrix::new(3, 4);
+//! for j in 0..3 {
+//!     coo.push(0, j, 1.0); // rows 0 and 1 share columns {0, 1, 2}
+//!     coo.push(1, j, 1.0);
+//! }
+//! coo.push(2, 3, 1.0); // row 2 overlaps nobody
+//! let pairs = spgemm_topk(&coo.to_csr(), 4, 0.5);
+//! assert_eq!(pairs.len(), 1);
+//! assert_eq!((pairs[0].row_i, pairs[0].row_j), (0, 1));
+//! assert_eq!(pairs[0].jaccard, 1.0);
+//! ```
 
 use crate::accumulator::{Accumulator, HashAccumulator};
 use cw_sparse::jaccard::jaccard_from_overlap;

@@ -131,6 +131,33 @@
 //! assert!(c_zoo.numerically_eq(&c_oracle, 0.0));
 //! ```
 //!
+//! ## Quickstart: shaped products (masked & top-k)
+//!
+//! The output *shape* is a first-class request axis: the full product, the
+//! product filtered through a sparsity mask, or only each row's k
+//! largest-magnitude entries. Shapes ride the same plan/prepare/cache
+//! pipeline (cache and feedback are keyed per shape), the cost model
+//! discounts kernel work by the expected surviving fraction, and every
+//! backend stays bit-identical to the serial oracle computing the same
+//! shape:
+//!
+//! ```
+//! use clusterwise_spgemm::prelude::*;
+//!
+//! let a = clusterwise_spgemm::sparse::gen::grid::poisson2d(12, 12);
+//! let mut engine = Engine::default();
+//! let (c_full, _) = engine.multiply(&a, &a);
+//!
+//! // Row-wise top-3: each output row keeps its 3 largest-|value| entries.
+//! let (c_topk, report) = engine.multiply_topk(&a, &a, 3);
+//! assert_eq!(report.plan.shape, OutputShape::TopK(3));
+//! assert!(c_topk.numerically_eq(&row_topk(&c_full, 3), 0.0));
+//!
+//! // Masked: keep only the entries the mask's pattern admits.
+//! let (c_masked, _) = engine.multiply_masked(&a, &a, &a);
+//! assert!(c_masked.numerically_eq(&apply_mask(&c_full, &a), 0.0));
+//! ```
+//!
 //! ## Quickstart: calibrated planning
 //!
 //! The planner's cost constants can be *fitted* for this machine from a
@@ -258,18 +285,28 @@ pub mod prelude {
     pub use cw_engine::{
         BackendId, BackendRegistry, CacheBudget, CalibrationProfile, Calibrator,
         ClusteringStrategy, CostModel, Engine, ExecutionBackend, ExecutionReport, FeedbackStore,
-        KernelChoice, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
+        KernelChoice, OutputShape, Plan, PlanCache, Planner, PlanningPolicy, PreparedMatrix,
     };
     pub use cw_net::{
         ClientConfig, NetClient, NetError, NetServer, NetServerConfig, Qos, RoutedClient,
-        WireResponse,
+        SubmitShape, WireResponse,
     };
     pub use cw_obs::{FlightRecorder, LogHistogram, MetricsRegistry, Tracer};
     pub use cw_reorder::Reordering;
-    pub use cw_service::{MultiplyRequest, Priority, ServiceConfig, ServiceReport, SpgemmService};
+    pub use cw_service::{
+        MultiplyRequest, Priority, RequestShape, ServiceConfig, ServiceReport, SpgemmService,
+    };
     pub use cw_sparse::{fingerprint, CooMatrix, CscMatrix, CsrMatrix, Permutation};
-    pub use cw_spgemm::{spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions};
+    pub use cw_spgemm::{
+        apply_mask, row_topk, spgemm, spgemm_serial, spgemm_with, AccumulatorKind, SpGemmOptions,
+    };
 }
+
+// Compile and run the README's code blocks as doc-tests, so the first
+// code a reader sees can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 #[cfg(test)]
 mod tests {

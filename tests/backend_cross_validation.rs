@@ -13,13 +13,14 @@
 
 use clusterwise_spgemm::engine::{
     AdaptiveCpu, BackendId, BackendRegistry, ClusteringStrategy, ExecutionBackend, KernelChoice,
-    Plan, Planner, PreparedMatrix, Suggestion, TiledCpu,
+    OutputShape, Plan, Planner, PreparedMatrix, Suggestion, TiledCpu,
 };
 use clusterwise_spgemm::prelude::*;
 use clusterwise_spgemm::sparse::gen;
 use clusterwise_spgemm::sparse::CooMatrix;
 use clusterwise_spgemm::spgemm::adaptive::AdaptiveThresholds;
 use clusterwise_spgemm::spgemm::flops::flops_per_row;
+use clusterwise_spgemm::spgemm::{apply_mask, row_topk};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -255,6 +256,135 @@ fn adaptive_degenerate_rows_stay_bit_identical() {
     }
 }
 
+/// `shape(A · A)` under `plan` restamped to `shape`, pinned to `id`.
+fn shaped_product_on(
+    reg: &BackendRegistry,
+    id: BackendId,
+    a: &CsrMatrix,
+    plan: Plan,
+    shape: OutputShape,
+    mask: Option<&CsrMatrix>,
+) -> CsrMatrix {
+    let backend: Arc<dyn ExecutionBackend> = reg.resolve(id);
+    PreparedMatrix::prepare_on(&backend, a, plan.with_shape(shape), SEED, &ClusterConfig::default())
+        .multiply_shaped(a, mask)
+}
+
+/// The output-shape fixtures for the square product `A · A`: top-k with
+/// `k` below, near, and above every row's length (`usize::MAX` ≥ any row
+/// nnz, so top-k must degenerate to the full product), and masks from
+/// empty through the diagonal to the operand's own pattern.
+fn shape_cases(a: &CsrMatrix) -> Vec<(&'static str, OutputShape, Option<CsrMatrix>)> {
+    let mut diag = CooMatrix::new(a.nrows, a.ncols);
+    for i in 0..a.nrows.min(a.ncols) {
+        diag.push(i, i, 1.0);
+    }
+    vec![
+        ("topk(0)", OutputShape::TopK(0), None),
+        ("topk(2)", OutputShape::TopK(2), None),
+        ("topk(MAX)", OutputShape::TopK(usize::MAX), None),
+        ("masked by the operand pattern", OutputShape::Masked, Some(a.clone())),
+        ("masked by the diagonal", OutputShape::Masked, Some(diag.to_csr())),
+        ("masked by the empty mask", OutputShape::Masked, {
+            Some(CooMatrix::new(a.nrows, a.ncols).to_csr())
+        }),
+    ]
+}
+
+/// Asserts, for every shape fixture: (1) the serial shaped product equals
+/// the shape transform applied to the serial *full* product — the shapes
+/// are pure row-local postprocesses; (2) every other backend reproduces
+/// the shaped oracle bit for bit, including under plans that permute rows
+/// (the mask must follow the operand into internal order and back).
+fn assert_shaped_backends_match_oracle(
+    reg: &BackendRegistry,
+    name: &str,
+    a: &CsrMatrix,
+    plan: Plan,
+) {
+    let full = product_on(reg, BackendId::SerialReference, a, a, plan);
+    for (label, shape, mask) in shape_cases(a) {
+        let mask = mask.as_ref();
+        let expected = match shape {
+            OutputShape::Full => full.clone(),
+            OutputShape::TopK(k) => row_topk(&full, k),
+            OutputShape::Masked => apply_mask(&full, mask.unwrap()),
+        };
+        let oracle = shaped_product_on(reg, BackendId::SerialReference, a, plan, shape, mask);
+        assert!(
+            oracle.approx_eq(&expected, 0.0),
+            "{name}/{label}: shaped serial product is not the postprocessed full product under {}",
+            plan.describe()
+        );
+        for id in reg.ids() {
+            if id == BackendId::SerialReference {
+                continue;
+            }
+            let got = shaped_product_on(reg, id, a, plan, shape, mask);
+            assert!(
+                got.approx_eq(&oracle, 0.0),
+                "{name}/{label}: backend {id:?} is not bit-identical to the shaped oracle under {}",
+                plan.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn shaped_products_are_bit_identical_across_backends() {
+    // Full-product bit-identity must carry over to masked and top-k
+    // outputs on every backend — including under reordering plans, where
+    // the mask has to be permuted into internal row order alongside the
+    // operand and the result un-permuted afterwards.
+    let reg = test_registry();
+    let planner = Planner::default();
+    for (name, a) in corpus() {
+        for suggestion in [
+            Suggestion::LeaveOriginal,
+            Suggestion::Reorder(Reordering::Rcm),
+            Suggestion::Hierarchical,
+        ] {
+            let plan = planner.plan_for_suggestion(&a, suggestion);
+            assert_shaped_backends_match_oracle(&reg, name, &a, plan);
+        }
+    }
+}
+
+#[test]
+fn shaped_degenerate_rows_stay_bit_identical() {
+    // Shapes over degenerate structure: empty rows (nothing to keep), a
+    // singleton row (k ≥ nnz keeps it whole), a fully dense row (top-k
+    // actually truncates), and duplicate COO entries summed on conversion
+    // — in both the operand and the mask.
+    let n = 40;
+    let mut coo = CooMatrix::new(n, n);
+    coo.push(1, 7, 2.5);
+    for j in 0..n {
+        coo.push(2, j, (j as f64 - 11.0) * 0.25);
+    }
+    for i in 3..n {
+        for d in 0..=(i % 4) {
+            let j = (i + d * 5) % n;
+            coo.push(i, j, 0.1 * i as f64 - 0.3 * d as f64);
+            if d == 1 {
+                coo.push(i, j, 0.75); // duplicate entry, summed
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let reg = test_registry();
+    for plan in [
+        Plan::baseline(),
+        Plan {
+            clustering: ClusteringStrategy::Fixed(3),
+            kernel: KernelChoice::ClusterWise,
+            ..Plan::baseline()
+        },
+    ] {
+        assert_shaped_backends_match_oracle(&reg, "degenerate", &a, plan);
+    }
+}
+
 /// Strategy: a random sparse square matrix (duplicates summed by the COO →
 /// CSR conversion, exactly as the other property suites build inputs).
 fn sparse_square(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
@@ -298,6 +428,35 @@ proptest! {
                     got.approx_eq(&oracle, 0.0),
                     "backend {:?} diverges on a random {}x{} matrix under {}",
                     id, a.nrows, a.ncols, plan.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_shaped_products_are_bit_identical_across_backends(
+        a in sparse_square(32, 160),
+        k in 0usize..6,
+    ) {
+        let reg = test_registry();
+        let plan = Planner::default().plan(&a);
+        let full = product_on(&reg, BackendId::SerialReference, &a, &a, plan);
+        for (shape, mask) in [
+            (OutputShape::TopK(k), None),
+            (OutputShape::Masked, Some(a.clone())),
+        ] {
+            let mask = mask.as_ref();
+            let expected = match shape {
+                OutputShape::Full => full.clone(),
+                OutputShape::TopK(k) => row_topk(&full, k),
+                OutputShape::Masked => apply_mask(&full, mask.unwrap()),
+            };
+            for id in reg.ids() {
+                let got = shaped_product_on(&reg, id, &a, plan, shape, mask);
+                prop_assert!(
+                    got.approx_eq(&expected, 0.0),
+                    "backend {:?} diverges from the postprocessed oracle for {:?} on a random {}x{} matrix under {}",
+                    id, shape, a.nrows, a.ncols, plan.describe()
                 );
             }
         }

@@ -74,6 +74,59 @@ fn wire_roundtrip_is_bit_identical_to_direct_engine() {
 }
 
 #[test]
+fn shaped_wire_requests_are_bit_identical_to_direct_engine() {
+    use clusterwise_spgemm::engine::OutputShape;
+
+    let server = loopback_server(ServiceConfig::default(), NetServerConfig::default());
+    let mut client =
+        NetClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+
+    let mut completed = 0u64;
+    for (name, a) in corpus() {
+        // Top-k over the wire: same bits as the in-process shaped engine,
+        // and the report echoes the shape (tag + k survive the frame).
+        let (direct, _) = Engine::default().multiply_topk(&a, &a, 3);
+        let resp = client.multiply_topk(&a, &a, 3).expect(name);
+        assert!(
+            resp.product.numerically_eq(&direct, 0.0),
+            "{name}: wire top-k product is not bit-identical to the direct shaped engine"
+        );
+        assert_eq!(resp.report.shape, OutputShape::TopK(3), "{name}: report lost the shape");
+
+        // Masked by the operand's own pattern (dimensions always match
+        // the square product).
+        let (direct, _) = Engine::default().multiply_masked(&a, &a, &a);
+        let resp = client.multiply_masked(&a, &a, &a).expect(name);
+        assert!(
+            resp.product.numerically_eq(&direct, 0.0),
+            "{name}: wire masked product is not bit-identical to the direct shaped engine"
+        );
+        assert_eq!(resp.report.shape, OutputShape::Masked, "{name}: report lost the shape");
+        completed += 2;
+    }
+
+    // A mask whose dimensions don't match the product is a typed reject —
+    // and the connection survives to serve the corrected request.
+    let a = gen::grid::poisson2d(6, 6);
+    let bad_mask = gen::grid::poisson2d(5, 5);
+    let err = client.multiply_masked(&a, &a, &bad_mask).expect_err("mask dims must mismatch");
+    assert!(err.is_rejected_with(RejectCode::ShapeMismatch), "got {err}");
+    let resp = client.multiply_topk(&a, &a, 1).expect("serves after the reject");
+    assert!(
+        (0..resp.product.nrows).all(|i| resp.product.row_nnz(i) <= 1),
+        "top-1 rows must have at most one entry"
+    );
+    completed += 1;
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, completed);
+    // A mask mismatch is a caller error, not an admission shed — it never
+    // counts against the service's `rejected` (which tracks backpressure
+    // and deadline sheds), exactly like an operand shape mismatch.
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
 fn no_wait_submit_polls_to_the_same_bits() {
     let server = loopback_server(ServiceConfig::default(), NetServerConfig::default());
     let mut client =

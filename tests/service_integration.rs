@@ -79,6 +79,69 @@ fn served_results_are_bit_identical_for_every_planner_branch() {
 }
 
 #[test]
+fn shaped_requests_serve_bit_identical_and_echo_their_shape() {
+    use clusterwise_spgemm::engine::OutputShape;
+
+    let service = SpgemmService::new(ServiceConfig::default());
+    for (name, a) in corpus() {
+        // Top-k through the queue/batch/shard path must match the direct
+        // shaped engine bit for bit, and the report must echo the shape.
+        let (direct, _) = Engine::default().multiply_topk(&a, &a, 4);
+        let served = service
+            .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_topk(4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            served.product.numerically_eq(&direct, 0.0),
+            "{name}: served top-k product diverges from the direct shaped engine"
+        );
+        assert_eq!(served.report.shape, OutputShape::TopK(4), "{name}: report lost the shape");
+
+        // Masked by the operand's own pattern.
+        let (direct, _) = Engine::default().multiply_masked(&a, &a, &a);
+        let served = service
+            .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_mask(Arc::clone(&a)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            served.product.numerically_eq(&direct, 0.0),
+            "{name}: served masked product diverges from the direct shaped engine"
+        );
+        assert_eq!(served.report.shape, OutputShape::Masked, "{name}: report lost the shape");
+    }
+
+    // A forced plan says how to compute; the request stays authoritative
+    // about *what* — its shape is stamped onto the plan before serving.
+    let a = Arc::new(gen::grid::poisson2d(12, 12));
+    let plan = Planner::default().plan(&a);
+    assert_eq!(plan.shape, OutputShape::Full);
+    let served = service
+        .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_plan(plan).with_topk(2))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(served.report.execution.plan.shape, OutputShape::TopK(2));
+    assert!((0..served.product.nrows).all(|i| served.product.row_nnz(i) <= 2));
+
+    // A mask that cannot filter the product is refused at the front door.
+    let bad_mask = Arc::new(gen::grid::poisson2d(5, 5));
+    let err = match service
+        .submit(MultiplyRequest::new(Arc::clone(&a), Arc::clone(&a)).with_mask(bad_mask))
+    {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched mask must be rejected at submit"),
+    };
+    assert!(
+        matches!(err, SubmitError::MaskShapeMismatch { .. }),
+        "expected MaskShapeMismatch, got {err}"
+    );
+
+    service.shutdown();
+}
+
+#[test]
 fn served_rectangular_rhs_matches_direct_engine() {
     let a = Arc::new(gen::er::erdos_renyi(60, 5, 3));
     let b = Arc::new(gen::er::erdos_renyi_rect(60, 14, 3, 4));
